@@ -1,0 +1,18 @@
+"""Figure 1 — disk writes to create two small files in two directories.
+
+Paper: Unix FFS requires ten non-sequential writes (new-file inodes
+written twice each, directory data, directory inodes, file data); Sprite
+LFS performs the operations in a single large write.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.figures import fig01_create_layout
+
+
+def test_fig01_create_layout(benchmark):
+    result = run_once(benchmark, fig01_create_layout)
+    save_result("fig01_create_layout", result.render())
+    assert result.lfs_write_ops <= 3
+    assert result.ffs_write_ops >= 8
+    assert result.ffs_write_ops >= 3 * result.lfs_write_ops

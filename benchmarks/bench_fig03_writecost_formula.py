@@ -1,0 +1,24 @@
+"""Figure 3 — write cost as a function of u (formula 1).
+
+The curve crosses "FFS today" (cost 10) at u = 0.8 and "FFS improved"
+(cost 4) at u = 0.5, which is how the paper derives the utilizations a
+log-structured file system must clean at to win.
+"""
+
+import pytest
+from conftest import run_once, save_result
+
+from repro.analysis.figures import fig03_writecost_formula
+from repro.simulator.writecost import (
+    FFS_IMPROVED_WRITE_COST,
+    FFS_TODAY_WRITE_COST,
+    lfs_write_cost,
+)
+
+
+def test_fig03_writecost_formula(benchmark):
+    result = run_once(benchmark, fig03_writecost_formula)
+    save_result("fig03_writecost_formula", result.render())
+    assert lfs_write_cost(0.8) == pytest.approx(FFS_TODAY_WRITE_COST)
+    assert lfs_write_cost(0.5) == pytest.approx(FFS_IMPROVED_WRITE_COST)
+    assert lfs_write_cost(0.0) == 1.0

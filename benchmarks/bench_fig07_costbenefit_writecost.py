@@ -1,0 +1,26 @@
+"""Figure 7 — write cost with the cost-benefit policy.
+
+Paper: cost-benefit reduces the write cost by as much as 50% over greedy
+under hot-and-cold access, and a log-structured file system out-performs
+even an improved Unix FFS (write cost 4) at high disk utilizations.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.figures import fig07_costbenefit_writecost
+from repro.simulator.writecost import FFS_IMPROVED_WRITE_COST
+
+UTILS = (0.2, 0.4, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9)
+
+
+def test_fig07_costbenefit_writecost(benchmark):
+    result = run_once(benchmark, lambda: fig07_costbenefit_writecost(UTILS))
+    save_result("fig07_costbenefit_writecost", result.render())
+
+    greedy = dict(result.curves["LFS greedy"])
+    costben = dict(result.curves["LFS cost-benefit"])
+    # substantial win at high utilization ("as much as 50%")
+    assert costben[0.75] < 0.8 * greedy[0.75]
+    assert costben[0.85] < 0.85 * greedy[0.85]
+    # beats the improved-FFS reference around the paper's 75% point
+    assert costben[0.75] < FFS_IMPROVED_WRITE_COST

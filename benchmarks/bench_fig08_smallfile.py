@@ -1,0 +1,32 @@
+"""Figure 8 — small-file performance (10000 x 1KB create/read/delete).
+
+Paper: Sprite LFS is almost ten times as fast as SunOS for create and
+delete; during the create phase LFS kept the disk only 17% busy while
+saturating the CPU, whereas SunOS kept the disk 85% busy — so LFS's
+performance will rise another 4-6x with faster CPUs and SunOS's will not.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.figures import fig08_smallfile
+
+
+def test_fig08_smallfile(benchmark):
+    result = run_once(benchmark, lambda: fig08_smallfile(num_files=10000))
+    save_result("fig08_smallfile", result.render())
+
+    lfs_create = result.lfs.phase("create")
+    ffs_create = result.ffs.phase("create")
+    assert lfs_create.files_per_second > 8 * ffs_create.files_per_second
+    assert result.lfs.phase("delete").files_per_second > 5 * result.ffs.phase(
+        "delete"
+    ).files_per_second
+    # disk-vs-CPU bound split
+    assert ffs_create.disk_utilization > 0.7
+    assert lfs_create.disk_utilization < 0.5
+
+    # Figure 8(b): create rate scales with CPU for LFS, not for FFS
+    lfs_scale = dict(result.scaling["lfs"])
+    ffs_scale = dict(result.scaling["ffs"])
+    assert lfs_scale[4.0] > 2.0 * lfs_scale[1.0]
+    assert ffs_scale[4.0] < 1.3 * ffs_scale[1.0]

@@ -1,0 +1,29 @@
+"""Figure 9 — large-file performance (100MB, five phases).
+
+Paper: Sprite LFS has a higher write bandwidth in all cases — dramatically
+so for random writes, which it turns into sequential log writes — the
+same read bandwidth except for one case: sequential rereading of a file
+that was written randomly, where LFS pays seeks and SunOS benefits from
+its logical locality.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.figures import fig09_largefile
+
+
+def test_fig09_largefile(benchmark):
+    result = run_once(benchmark, lambda: fig09_largefile(file_size=100 * 1024 * 1024))
+    save_result("fig09_largefile", result.render())
+
+    def lfs(phase):
+        return result.lfs.phase(phase).kb_per_second
+
+    def ffs(phase):
+        return result.ffs.phase(phase).kb_per_second
+
+    assert lfs("seq write") > ffs("seq write")
+    assert lfs("rand write") > 2 * ffs("rand write")
+    assert 0.5 < lfs("seq read") / ffs("seq read") < 2.0
+    # the one case SunOS wins
+    assert ffs("seq reread") > 1.5 * lfs("seq reread")

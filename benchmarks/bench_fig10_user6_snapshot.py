@@ -1,0 +1,28 @@
+"""Figure 10 — segment utilization in the /user6 file system.
+
+Paper: a snapshot of the production disk shows large numbers of fully
+utilized segments and totally empty segments — the bimodal distribution
+the cost-benefit cleaner is designed to produce.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.figures import fig10_user6_snapshot
+from repro.workloads.production import ProductionConfig
+
+
+def test_fig10_user6_snapshot(benchmark):
+    result = run_once(
+        benchmark, lambda: fig10_user6_snapshot(ProductionConfig(disk_mb=96, traffic_mb=192))
+    )
+    save_result("fig10_user6_snapshot", result.render())
+
+    dist = result.distributions["/user6"]
+    assert dist
+    nearly_full = sum(1 for u in dist if u > 0.85) / len(dist)
+    nearly_empty = sum(1 for u in dist if u < 0.15) / len(dist)
+    middle = sum(1 for u in dist if 0.4 < u < 0.6) / len(dist)
+    # bimodal: both extremes outweigh the middle
+    assert nearly_full > middle
+    assert nearly_full > 0.3
+    assert nearly_empty + nearly_full > 0.5

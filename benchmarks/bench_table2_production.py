@@ -1,0 +1,32 @@
+"""Table 2 — cleaning statistics for the five production-style systems.
+
+Paper: over four months, write costs ranged 1.2-1.6 — far below the
+simulator's 2.5-3 prediction at the same utilizations — because most
+cleaned segments were totally empty (52-83%) and the non-empty ones were
+far emptier than the disk average.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.tables import table2_production
+
+
+def test_table2_production(benchmark):
+    result = run_once(benchmark, table2_production)
+    save_result("table2_production", result.render())
+
+    by_name = {r.name: r for r in result.rows}
+    # every system: write cost far below the simulator's prediction at
+    # the same utilization (the paper's headline for this table)
+    for row in result.rows:
+        assert row.write_cost < 3.5, row.name
+    # the whole-file create/delete systems see mostly-empty cleaning
+    for name in ("/user6", "/pcs", "/src/kernel", "/tmp"):
+        assert by_name[name].fraction_empty > 0.35, name
+    # non-empty cleaned segments are much emptier than the disk average
+    for name in ("/user6", "/pcs", "/src/kernel"):
+        row = by_name[name]
+        assert row.avg_cleaned_u < row.in_use, name
+    # utilizations land near the configured targets
+    assert 0.70 < by_name["/user6"].in_use < 0.85
+    assert by_name["/tmp"].in_use < 0.25

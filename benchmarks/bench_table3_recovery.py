@@ -1,0 +1,36 @@
+"""Table 3 — recovery time for various crash configurations.
+
+Paper: recovery time is dominated by the *number* of files recovered, not
+the volume of data: one megabyte of 1KB files takes as long to recover as
+tens of megabytes of 100KB files.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.tables import table3_recovery
+
+
+def test_table3_recovery(benchmark):
+    result = run_once(
+        benchmark, lambda: table3_recovery(file_sizes=(1024, 10240, 102400), data_mbs=(1, 10, 50))
+    )
+    save_result("table3_recovery", result.render())
+
+    def cell(size, mb):
+        return next(c for c in result.cells if c.file_size == size and c.data_mb == mb)
+
+    # recovery scales with data volume for a fixed file size
+    for size in (1024, 10240, 102400):
+        assert cell(size, 50).recovery_seconds > cell(size, 1).recovery_seconds
+
+    # and is dominated by file count: at every volume, 1KB files take
+    # several times longer than 100KB files
+    for mb in (1, 10, 50):
+        small = cell(1024, mb).recovery_seconds
+        large = cell(102400, mb).recovery_seconds
+        assert small > 2.0 * large, f"{mb}MB"
+
+    # absolute scale: tens-of-MB of small files takes minutes-ish,
+    # large files stay in seconds (same order as the paper's Table 3)
+    assert cell(1024, 50).recovery_seconds > 20.0
+    assert cell(102400, 50).recovery_seconds < 20.0

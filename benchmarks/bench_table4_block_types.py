@@ -1,0 +1,29 @@
+"""Table 4 — disk space and log bandwidth usage by block type.
+
+Paper (for /user6): more than 99% of the *live* data is file data and
+indirect blocks, but about 13% of the *log bandwidth* goes to inodes,
+inode-map, and segment-usage blocks — metadata that is overwritten
+quickly, inflated by the short 30-second checkpoint interval.
+"""
+
+from conftest import run_once, save_result
+
+from repro.analysis.tables import table4_block_types
+
+
+def test_table4_block_types(benchmark):
+    result = run_once(benchmark, table4_block_types)
+    save_result("table4_block_types", result.render())
+
+    live_total = sum(result.live.values())
+    log_total = sum(result.log.values())
+    live_data_frac = (result.live["data"] + result.live["indirect"]) / live_total
+    assert live_data_frac > 0.95  # paper: 99%
+
+    meta_log = (
+        result.log["inode"] + result.log["inode_map"] + result.log["seg_usage"]
+    ) / log_total
+    assert 0.03 < meta_log < 0.40  # paper: ~12.6%
+
+    data_log_frac = result.log["data"] / log_total
+    assert data_log_frac > 0.5  # paper: 85.2%

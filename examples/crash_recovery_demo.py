@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Crash recovery walk-through: checkpoints, roll-forward, torn writes.
+
+Demonstrates the paper's Section 4 machinery end to end:
+
+1. data covered by a checkpoint survives trivially;
+2. data written after the checkpoint is recovered by roll-forward
+   (scanning the threaded log's summary blocks);
+3. a crash in the middle of a checkpoint write leaves a torn region that
+   self-invalidates — the system boots from the older checkpoint and
+   still rolls forward;
+4. a crash in the middle of a log write drops exactly the torn tail.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import Disk, LFS, LFSConfig
+from repro.disk import DiskGeometry
+from repro.disk.faults import DiskCrashed
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def main() -> None:
+    cfg = LFSConfig(checkpoint_interval=0)  # checkpoint only when asked
+    disk = Disk(DiskGeometry.wren4(num_blocks=32768))
+    fs = LFS.format(disk, cfg)
+
+    banner("1. checkpointed data")
+    fs.write_file("/stable", b"covered by a checkpoint")
+    fs.checkpoint()
+    fs.crash()
+    disk.power_on()
+    fs = LFS.mount(disk, cfg)
+    print("read /stable:", fs.read("/stable").decode())
+
+    banner("2. roll-forward of post-checkpoint writes")
+    fs.write_file("/fresh", b"only in the log, no checkpoint")
+    fs.rename("/stable", "/renamed")
+    fs.sync()
+    fs.crash()
+    disk.power_on()
+    fs = LFS.mount(disk, cfg)
+    r = fs.last_recovery
+    print(f"roll-forward replayed {r.partial_writes_replayed} partial writes, "
+          f"{r.inodes_recovered} inodes, {r.dirops_applied} directory ops "
+          f"in {r.elapsed:.3f} simulated seconds")
+    print("read /fresh:", fs.read("/fresh").decode())
+    print("rename replayed:", not fs.exists("/stable") and fs.exists("/renamed"))
+
+    banner("3. torn checkpoint region")
+    fs.write_file("/pre-torn", b"written before the torn checkpoint")
+    fs.sync()
+    disk.crash(after_writes=1)  # the checkpoint write will be cut short
+    try:
+        fs.checkpoint()
+    except DiskCrashed:
+        print("power failed mid-checkpoint (only 1 block persisted)")
+    fs.crash()
+    disk.power_on()
+    fs = LFS.mount(disk, cfg)
+    print("booted from the older checkpoint; /pre-torn recovered:",
+          fs.read("/pre-torn").decode())
+
+    banner("4. torn log write")
+    fs.write_file("/will-tear", b"T" * 100_000)
+    disk.crash(after_writes=4)  # the flush tears after 4 blocks
+    try:
+        fs.sync()
+    except DiskCrashed:
+        print("power failed mid-flush")
+    fs.crash()
+    disk.power_on()
+    fs = LFS.mount(disk, cfg)
+    print("/will-tear survived:", fs.exists("/will-tear"),
+          "(the torn tail was detected via the summary CRC and dropped)")
+    print("namespace is still consistent:", fs.readdir("/"))
+
+
+if __name__ == "__main__":
+    main()

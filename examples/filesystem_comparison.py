@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Head-to-head: Sprite LFS vs Unix FFS on identical simulated hardware.
+
+A compact version of the paper's Section 5.1 benchmarks. Both file
+systems run on a Wren IV-modelled disk (1.3 MB/s, 17.5 ms average seek);
+all times are simulated disk+CPU seconds, so the comparison is about I/O
+*patterns*, not Python speed.
+
+Run:  python examples/filesystem_comparison.py
+"""
+
+from repro.analysis.ascii_chart import render_table
+from repro.workloads.largefile import PHASES, run_largefile
+from repro.workloads.smallfile import run_smallfile
+
+
+def main() -> None:
+    print("small files: 2000 x 1KB (compare paper Figure 8)")
+    lfs = run_smallfile("lfs", num_files=2000)
+    ffs = run_smallfile("ffs", num_files=2000)
+    rows = []
+    for phase in ("create", "read", "delete"):
+        lp, fp = lfs.phase(phase), ffs.phase(phase)
+        rows.append(
+            [
+                phase,
+                f"{lp.files_per_second:.0f}",
+                f"{fp.files_per_second:.0f}",
+                f"{lp.files_per_second / fp.files_per_second:.1f}x",
+                f"{lp.disk_utilization:.0%}",
+                f"{fp.disk_utilization:.0%}",
+            ]
+        )
+    print(render_table(
+        ["phase", "LFS files/s", "FFS files/s", "LFS speedup", "LFS disk", "FFS disk"], rows
+    ))
+    print(
+        "\nThe paper's punchline: FFS saturates the disk with synchronous\n"
+        "metadata writes while LFS saturates the CPU — so LFS rides CPU\n"
+        "scaling and FFS does not.\n"
+    )
+
+    print("large file: 16MB in 8KB transfers (compare paper Figure 9)")
+    lfs_big = run_largefile("lfs", file_size=16 * 1024 * 1024, cache_blocks=1024)
+    ffs_big = run_largefile("ffs", file_size=16 * 1024 * 1024, cache_blocks=512)
+    rows = [
+        [
+            phase,
+            f"{lfs_big.phase(phase).kb_per_second:.0f}",
+            f"{ffs_big.phase(phase).kb_per_second:.0f}",
+        ]
+        for phase in PHASES
+    ]
+    print(render_table(["phase", "LFS KB/s", "FFS KB/s"], rows))
+    print(
+        "\nLFS wins every write phase (random writes become sequential log\n"
+        "writes) and loses exactly one read case: sequentially rereading a\n"
+        "randomly written file, where temporal locality works against it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e .`` work without the wheel package
+(the offline environment has setuptools but no bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

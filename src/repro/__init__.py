@@ -1,0 +1,41 @@
+"""repro — a reproduction of Rosenblum & Ousterhout's log-structured file
+system (SOSP 1991).
+
+The package provides:
+
+- ``repro.core`` — Sprite LFS itself (segments, cleaner, checkpoints,
+  roll-forward) on a simulated disk;
+- ``repro.disk`` — the simulated block device with a seek/rotation/transfer
+  service-time model;
+- ``repro.ffs`` — a Unix FFS-style baseline on the same disk;
+- ``repro.simulator`` — the Section 3.5 cleaning-policy simulator;
+- ``repro.workloads`` — benchmark workload generators for the paper's
+  figures and tables;
+- ``repro.analysis`` — figure/table regeneration helpers.
+
+Quickstart::
+
+    from repro import Disk, LFS
+
+    disk = Disk()
+    fs = LFS.format(disk)
+    fs.write_file("/hello.txt", b"hello, log-structured world")
+    print(fs.read("/hello.txt"))
+"""
+
+from repro.core import LFS, CleaningPolicy, LFSConfig
+from repro.disk import Disk, DiskGeometry
+from repro.vfs import FileHandle, FileSystemView
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LFS",
+    "CleaningPolicy",
+    "Disk",
+    "DiskGeometry",
+    "FileHandle",
+    "FileSystemView",
+    "LFSConfig",
+    "__version__",
+]

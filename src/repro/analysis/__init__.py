@@ -1,0 +1,11 @@
+"""Figure and table regeneration for the paper's evaluation section.
+
+``figures`` has one entry point per paper figure and ``tables`` one per
+table; each returns a small result object whose ``render()`` produces the
+terminal-friendly report the benchmark harness prints. ``ascii_chart``
+holds the plotting primitives.
+"""
+
+from repro.analysis.ascii_chart import render_histogram, render_series, render_table
+
+__all__ = ["render_histogram", "render_series", "render_table"]

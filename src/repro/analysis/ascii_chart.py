@@ -1,0 +1,112 @@
+"""Terminal rendering primitives for figures and tables.
+
+Benchmarks print their figures as ASCII line charts and histograms so a
+run of ``pytest benchmarks/`` reproduces the paper's plots legibly in a
+log file, with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+_MARKS = "*o+x#@%&"
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_max: float | None = None,
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = 0.0
+    y_hi = y_max if y_max is not None else max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(_MARKS, series.items()):
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            y_clamped = min(y, y_hi)
+            row = height - 1 - int((y_clamped - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = y_hi - i * (y_hi - y_lo) / (height - 1)
+        lines.append(f"{y_val:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<10.2f}{x_label:^{max(0, width - 20)}}{x_hi:>10.2f}")
+    legend = "   ".join(
+        f"{mark} {name}" for mark, (name, _) in zip(_MARKS, series.items())
+    )
+    lines.append(f"   y: {y_label}")
+    lines.append(f"   {legend}")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: Iterable[float],
+    *,
+    bins: int = 20,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    width: int = 50,
+    label: str = "value",
+    normalize: bool = True,
+) -> str:
+    """Render a histogram of ``values`` over [lo, hi] as horizontal bars."""
+    counts = [0] * bins
+    total = 0
+    for v in values:
+        idx = int((min(max(v, lo), hi) - lo) / (hi - lo) * bins)
+        counts[min(idx, bins - 1)] += 1
+        total += 1
+    if total == 0:
+        return "(no data)"
+    peak = max(counts)
+    lines = [f"   {label} distribution ({total} samples)"]
+    for i, count in enumerate(counts):
+        left = lo + i * (hi - lo) / bins
+        frac = count / total if normalize else count
+        bar = "#" * (int(count / peak * width) if peak else 0)
+        lines.append(f"{left:6.2f} |{bar:<{width}} {frac:6.3f}" if normalize else f"{left:6.2f} |{bar}")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}" if abs(cell) < 1000 else f"{cell:.0f}"
+    return str(cell)

@@ -1,0 +1,35 @@
+"""Sprite LFS: the paper's log-structured file system.
+
+Public entry points:
+
+- :class:`~repro.core.filesystem.LFS` — format/mount/operate the file system
+- :class:`~repro.core.config.LFSConfig` — tunables (segment size, cleaning
+  policy, checkpoint interval, ...)
+- :class:`~repro.core.config.CleaningPolicy` — greedy vs. cost-benefit
+"""
+
+from repro.core.config import CleaningPolicy, LFSConfig
+from repro.core.errors import (
+    CorruptionError,
+    DiskRangeError,
+    FileExistsLFSError,
+    FileNotFoundLFSError,
+    LFSError,
+    NoSpaceError,
+)
+from repro.core.filesystem import LFS, StatResult
+from repro.core.recovery import RecoveryReport
+
+__all__ = [
+    "LFS",
+    "CleaningPolicy",
+    "CorruptionError",
+    "DiskRangeError",
+    "FileExistsLFSError",
+    "FileNotFoundLFSError",
+    "LFSConfig",
+    "LFSError",
+    "NoSpaceError",
+    "RecoveryReport",
+    "StatResult",
+]

@@ -1,0 +1,151 @@
+"""Checkpoint regions (Section 4.1).
+
+A checkpoint region records the addresses of every inode-map and
+segment-usage block, the log cursor, and allocation state. There are two
+regions at fixed positions; checkpoints alternate between them, and the
+checkpoint timestamp lives in the *last* block of the region — so a crash
+in the middle of a checkpoint write leaves a stale timestamp and the other
+(older but complete) region wins at reboot, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.blocks import pack_addr_list, require, unpack_addr_list
+from repro.core.config import DiskLayout
+from repro.core.constants import CHECKPOINT_MAGIC
+from repro.core.errors import CorruptionError
+from repro.disk.device import Disk
+
+# header: magic, pad, checkpoint seq, log seq, tail segment, tail offset,
+# reserved next segment, next inum hint, n_imap_blocks, n_usage_blocks
+_HEADER = struct.Struct("<I4xQQQQQQQQ")
+# trailer: magic, pad, checkpoint seq, timestamp
+_TRAILER = struct.Struct("<I4xQd")
+
+
+@dataclass
+class Checkpoint:
+    """Parsed (or to-be-written) checkpoint contents.
+
+    Attributes:
+        seq: checkpoint sequence number (monotonic across both regions).
+        timestamp: simulated time of the checkpoint.
+        log_seq: next partial-write sequence number at checkpoint time;
+            roll-forward replays only partial writes with ``seq >= log_seq``.
+        tail_segment: segment the log cursor was in.
+        tail_offset: blocks used in that segment.
+        next_segment: segment reserved as the log's successor
+            (``NO_SEGMENT`` if none), for threading.
+        next_inum: inode-number allocation hint.
+        imap_addrs: log address of every inode-map block.
+        usage_addrs: log address of every segment-usage block.
+    """
+
+    seq: int
+    timestamp: float
+    log_seq: int
+    tail_segment: int
+    tail_offset: int
+    next_segment: int
+    next_inum: int
+    imap_addrs: list[int]
+    usage_addrs: list[int]
+
+
+def write_checkpoint(disk: Disk, layout: DiskLayout, cp: Checkpoint, *, region_b: bool) -> None:
+    """Write a checkpoint into region A or B as one streamed request.
+
+    The trailer (timestamp) block is last in the request; with a
+    prefix-durable device a torn write can never produce a region whose
+    trailer matches its header.
+    """
+    block_size = disk.geometry.block_size
+    header = _HEADER.pack(
+        CHECKPOINT_MAGIC,
+        cp.seq,
+        cp.log_seq,
+        cp.tail_segment,
+        cp.tail_offset,
+        cp.next_segment,
+        cp.next_inum,
+        len(cp.imap_addrs),
+        len(cp.usage_addrs),
+    ).ljust(block_size, b"\0")
+    addr_blocks = pack_addr_list(cp.imap_addrs + cp.usage_addrs, block_size)
+    trailer = _TRAILER.pack(CHECKPOINT_MAGIC, cp.seq, cp.timestamp).ljust(block_size, b"\0")
+    blocks = [header] + addr_blocks + [trailer]
+    if len(blocks) > layout.checkpoint_blocks:
+        raise CorruptionError(
+            f"checkpoint needs {len(blocks)} blocks but the region has "
+            f"{layout.checkpoint_blocks}"
+        )
+    # Pad so the trailer always sits in the region's last block.
+    while len(blocks) < layout.checkpoint_blocks:
+        blocks.insert(-1, bytes(block_size))
+    start = layout.checkpoint_b if region_b else layout.checkpoint_a
+    disk.write_blocks(start, blocks)
+
+
+def read_checkpoint(disk: Disk, layout: DiskLayout, *, region_b: bool) -> Checkpoint:
+    """Read and validate one checkpoint region.
+
+    Raises :class:`CorruptionError` when the region is unused, torn, or
+    malformed.
+    """
+    start = layout.checkpoint_b if region_b else layout.checkpoint_a
+    blocks = disk.read_blocks(start, layout.checkpoint_blocks)
+    header = blocks[0]
+    require(len(header) >= _HEADER.size, "checkpoint header truncated")
+    (
+        magic,
+        seq,
+        log_seq,
+        tail_segment,
+        tail_offset,
+        next_segment,
+        next_inum,
+        n_imap,
+        n_usage,
+    ) = _HEADER.unpack_from(header, 0)
+    require(magic == CHECKPOINT_MAGIC, "bad checkpoint header magic")
+
+    trailer = blocks[-1]
+    t_magic, t_seq, timestamp = _TRAILER.unpack_from(trailer, 0)
+    require(t_magic == CHECKPOINT_MAGIC, "bad checkpoint trailer magic")
+    require(
+        t_seq == seq,
+        f"torn checkpoint: header seq {seq} but trailer seq {t_seq}",
+    )
+
+    addrs = unpack_addr_list(blocks[1:-1], n_imap + n_usage, disk.geometry.block_size)
+    return Checkpoint(
+        seq=seq,
+        timestamp=timestamp,
+        log_seq=log_seq,
+        tail_segment=tail_segment,
+        tail_offset=tail_offset,
+        next_segment=next_segment,
+        next_inum=next_inum,
+        imap_addrs=addrs[:n_imap],
+        usage_addrs=addrs[n_imap:],
+    )
+
+
+def read_latest_checkpoint(disk: Disk, layout: DiskLayout) -> tuple[Checkpoint, bool]:
+    """Read both regions and return (newest valid checkpoint, was_region_b).
+
+    This is the paper's reboot rule: "the system reads both checkpoint
+    regions and uses the one with the most recent time."
+    """
+    candidates: list[tuple[Checkpoint, bool]] = []
+    for region_b in (False, True):
+        try:
+            candidates.append((read_checkpoint(disk, layout, region_b=region_b), region_b))
+        except CorruptionError:
+            continue
+    if not candidates:
+        raise CorruptionError("no valid checkpoint region found")
+    return max(candidates, key=lambda pair: pair[0].seq)

@@ -1,0 +1,323 @@
+"""The segment cleaner (Sections 3.3-3.5).
+
+Mechanism: read segments, identify live blocks from segment summaries
+(using the inode-map version for the fast uid check), and rewrite the live
+blocks through the normal log write path. Policy: segments are selected
+greedily (least utilized) or by cost-benefit, ``(1-u) * age / (1+u)``; live
+blocks are optionally age-sorted before rewriting, which segregates cold
+data from hot.
+
+A cleaning pass checkpoints before reusing the source segments so that
+cleaned segments are never overwritten while an inode on disk still points
+into them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import CleaningPolicy
+from repro.core.constants import BlockKind
+from repro.core.inode import unpack_inode_block
+from repro.core.summary import try_parse_summary
+
+
+@dataclass
+class CleanerStats:
+    """Counters matching the paper's Table 2."""
+
+    passes: int = 0
+    segments_cleaned: int = 0
+    empty_segments_cleaned: int = 0
+    blocks_read: int = 0
+    live_blocks_moved: int = 0
+    selective_segments: int = 0
+    cleaned_utilizations: list[float] = field(default_factory=list)
+
+    @property
+    def fraction_empty(self) -> float:
+        """Fraction of cleaned segments that were totally empty."""
+        if not self.segments_cleaned:
+            return 0.0
+        return self.empty_segments_cleaned / self.segments_cleaned
+
+    @property
+    def avg_nonempty_utilization(self) -> float:
+        """Mean utilization of the non-empty segments cleaned (Table 2's u)."""
+        nonempty = [u for u in self.cleaned_utilizations if u > 0.0]
+        if not nonempty:
+            return 0.0
+        return sum(nonempty) / len(nonempty)
+
+
+class Cleaner:
+    """Regenerates clean segments for one :class:`~repro.core.filesystem.LFS`."""
+
+    def __init__(self, fs) -> None:
+        self.fs = fs
+        self.stats = CleanerStats()
+
+    # ------------------------------------------------------------------
+    # policy
+
+    def _candidates(self) -> list[int]:
+        fs = self.fs
+        return [
+            seg
+            for seg in fs.usage.dirty_segments()
+            if seg != fs.writer.current_segment and seg != fs.writer.next_segment
+        ]
+
+    def select_segments(self, count: int) -> list[int]:
+        """Choose up to ``count`` segments to clean under the active policy.
+
+        Totally empty segments are always taken first: reclaiming them
+        costs no I/O at all (Section 3.4's u = 0 case), which is why the
+        production systems in Table 2 show most cleaned segments empty.
+        """
+        fs = self.fs
+        candidates = self._candidates()
+        if not candidates:
+            return []
+        empty = [s for s in candidates if fs.usage.get(s).live_bytes == 0]
+        if empty:
+            return empty[:count]
+        now = fs.disk.clock.now
+        if fs.config.cleaning_policy == CleaningPolicy.GREEDY:
+            candidates.sort(key=lambda s: fs.usage.utilization(s))
+        else:
+            candidates.sort(key=lambda s: -self._benefit_cost(s, now))
+        return candidates[:count]
+
+    def _benefit_cost(self, seg_no: int, now: float) -> float:
+        """The paper's cost-benefit ratio: free space * age / cost."""
+        u = self.fs.usage.utilization(seg_no)
+        age = max(0.0, now - self.fs.usage.get(seg_no).last_write)
+        return (1.0 - u) * age / (1.0 + u)
+
+    # ------------------------------------------------------------------
+    # mechanism
+
+    def clean(self, target_clean: int) -> int:
+        """Clean until ``target_clean`` segments are clean; returns count cleaned."""
+        fs = self.fs
+        if fs._in_cleaner:
+            return 0
+        fs._in_cleaner = True
+        fs.writer.exempt = True  # cleaning may use the reserved segments
+        try:
+            cleaned = 0
+            checkpointed = False
+            while fs.usage.clean_count < target_clean:
+                victims = self.select_segments(fs.config.segments_per_pass)
+                if not victims:
+                    break
+                empties = [v for v in victims if fs.usage.get(v).live_bytes == 0]
+                if empties:
+                    # Pure gain: "need not be read at all" (Section 3.4).
+                    for seg_no in empties:
+                        self.stats.cleaned_utilizations.append(0.0)
+                        fs.usage.mark_clean(seg_no)
+                        self.stats.empty_segments_cleaned += 1
+                        self.stats.segments_cleaned += 1
+                    cleaned += len(empties)
+                    continue
+                if not checkpointed:
+                    # Retire pending directory-op records so every block in
+                    # the victims is judged against durable state.
+                    fs.checkpoint()
+                    checkpointed = True
+                    continue  # re-select: the checkpoint changed liveness
+                chosen = self._fit_to_headroom(victims)
+                if not chosen:
+                    break
+                before = self._free_blocks()
+                cleaned += self._clean_pass(chosen)
+                self.stats.passes += 1
+                if self._free_blocks() <= before:
+                    break  # no net gain: the disk is effectively full
+            return cleaned
+        finally:
+            fs._in_cleaner = False
+            fs.writer.exempt = False
+
+    def _free_blocks(self) -> int:
+        """Writable blocks: clean segments plus the unused log tail."""
+        fs = self.fs
+        free = fs.usage.clean_count * fs.config.segment_blocks
+        if fs.writer.current_segment is not None:
+            free += fs.config.segment_blocks - fs.writer.offset
+        if fs.writer.next_segment is not None:
+            free += fs.config.segment_blocks
+        return free
+
+    def _fit_to_headroom(self, victims: list[int]) -> list[int]:
+        """Trim a victim list so its moved data fits the clean segments.
+
+        A cleaning pass consumes log space (the moved live blocks plus a
+        checkpoint) *before* the sources are marked clean, so the pass
+        must fit in what is currently free.
+        """
+        fs = self.fs
+        seg_blocks = fs.config.segment_blocks
+        # Slack for the pass-closing checkpoint: dirty map blocks plus a
+        # margin for summaries and map blocks dirtied by the moves.
+        slack = (
+            16
+            + len(fs.imap.dirty_block_indexes())
+            + len(fs.usage.dirty_block_indexes())
+            + fs.cache.dirty_count
+        )
+        headroom = self._free_blocks() - slack
+        chosen: list[int] = []
+        acc = 0
+        for seg_no in victims:
+            u = fs.usage.utilization(seg_no)
+            live = int(u * seg_blocks)
+            # live blocks + summaries + inode/map blocks the moves dirty
+            need = live + 4 + live // 8
+            if chosen and acc + need > headroom:
+                break
+            if not chosen and need > headroom:
+                # Not even one victim fits: try the emptiest candidate
+                # instead (maximum net gain per block of headroom).
+                fallback = min(self._candidates(), key=fs.usage.utilization)
+                fb_need = int(fs.usage.utilization(fallback) * seg_blocks) + 4
+                return [fallback] if fb_need <= headroom else []
+            chosen.append(seg_no)
+            acc += need
+        return chosen
+
+    def _clean_pass(self, victims: list[int]) -> int:
+        """Read victims, move their live blocks, and mark them clean."""
+        fs = self.fs
+        moved = 0
+        for seg_no in victims:
+            self.stats.cleaned_utilizations.append(fs.usage.utilization(seg_no))
+            moved += self._gather_live(seg_no)
+        fs.flush(cleaning=True)
+        # Persist the moved inodes/pointers before the sources are reused.
+        fs.checkpoint()
+        for seg_no in victims:
+            fs.usage.mark_clean(seg_no)
+            self.stats.segments_cleaned += 1
+        self.stats.live_blocks_moved += moved
+        return len(victims)
+
+    def _gather_live(self, seg_no: int) -> int:
+        """Mark every live block of one segment dirty so a flush moves it.
+
+        Normally the whole segment is read in one streamed request (the
+        paper's conservative assumption). When the segment's utilization
+        is below ``selective_read_utilization``, only the summary blocks
+        and the blocks that prove live are read — the paper's "it may be
+        faster to read just the live blocks" optimization.
+        """
+        fs = self.fs
+        seg_blocks = fs.config.segment_blocks
+        start = fs.layout.segment_start(seg_no)
+        selective = (
+            fs.config.selective_read_utilization > 0.0
+            and fs.usage.utilization(seg_no) < fs.config.selective_read_utilization
+        )
+        if selective:
+            blocks = None
+            self.stats.selective_segments += 1
+        else:
+            blocks = fs.disk.read_blocks(start, seg_blocks)
+            self.stats.blocks_read += seg_blocks
+
+        def block_at(i: int) -> bytes:
+            if blocks is not None:
+                return blocks[i]
+            self.stats.blocks_read += 1
+            return fs.disk.read_block(start + i)
+
+        moved = 0
+        offset = 0
+        prev_seq = 0
+        while offset < seg_blocks:
+            summary = try_parse_summary(block_at(offset), fs.config.block_size)
+            if summary is None or summary.seq <= prev_seq or summary.seq >= fs.writer.seq:
+                break
+            n = len(summary.entries)
+            if offset + 1 + n > seg_blocks:
+                break
+            if blocks is not None and not summary.verify(blocks[offset + 1 : offset + 1 + n]):
+                break
+            prev_seq = summary.seq
+            for i, entry in enumerate(summary.entries):
+                addr = start + offset + 1 + i
+                if self._revive(entry, addr, lambda i=i, off=offset: block_at(off + 1 + i)):
+                    moved += 1
+            offset += 1 + n
+        return moved
+
+    def _revive(self, entry, addr: int, get_payload) -> bool:
+        """If the block at ``addr`` is live, queue it for rewriting."""
+        fs = self.fs
+        kind = entry.kind
+        if kind == BlockKind.DATA:
+            if not fs.imap.is_allocated(entry.inum):
+                return False
+            if fs.imap.version_of(entry.inum) != entry.version:
+                return False  # the paper's fast uid check: no inode read
+            if fs.block_addr(entry.inum, entry.offset) != addr:
+                return False
+            cached = fs.cache.lookup(entry.inum, entry.offset)
+            inode = fs.get_inode(entry.inum)
+            if cached is not None:
+                if cached.dirty:
+                    return False  # a newer copy is already queued
+                fs.cache.write(entry.inum, entry.offset, cached.payload, inode.mtime)
+            else:
+                fs.cache.write(entry.inum, entry.offset, get_payload(), inode.mtime)
+            return True
+        if kind in (BlockKind.INDIRECT, BlockKind.DINDIRECT):
+            if not fs.imap.is_allocated(entry.inum):
+                return False
+            if fs.imap.version_of(entry.inum) != entry.version:
+                return False
+            fmap = fs.filemap(entry.inum)
+            if kind == BlockKind.DINDIRECT:
+                if fmap.inode.dindirect != addr:
+                    return False
+                fmap._load_l2()
+                fmap.l2_dirty = True
+                return True
+            if entry.offset == 0:
+                if fmap.inode.indirect != addr:
+                    return False
+                fmap._load_l1()
+                fmap.l1_dirty = True
+                return True
+            child_idx = entry.offset - 1
+            if fmap._load_l2()[child_idx] != addr:
+                return False
+            fmap._load_child(child_idx)
+            fmap.dirty_children.add(child_idx)
+            return True
+        if kind == BlockKind.INODE:
+            revived = False
+            for inode in unpack_inode_block(get_payload(), fs.config.block_size):
+                slot = fs.imap.get(inode.inum) if fs.imap.is_allocated(inode.inum) else None
+                if slot is None or slot.addr != addr or slot.version != inode.version:
+                    continue
+                if inode.inum not in fs._inodes:
+                    fs._inodes[inode.inum] = inode
+                fs._dirty_inodes.add(inode.inum)
+                revived = True
+            return revived
+        if kind == BlockKind.INODE_MAP:
+            if fs.imap.block_addrs[entry.offset] == addr:
+                fs.imap._dirty_blocks.add(entry.offset)
+                return True
+            return False
+        if kind == BlockKind.SEG_USAGE:
+            if fs.usage.block_addrs[entry.offset] == addr:
+                fs.usage._dirty_blocks.add(entry.offset)
+                return True
+            return False
+        # DIROP blocks are dead once the pass's opening checkpoint ran;
+        # SUMMARY entries never appear inside summaries.
+        return False

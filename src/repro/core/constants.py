@@ -1,0 +1,70 @@
+"""On-disk format constants shared across the core modules.
+
+Block *kinds* tag every block described by a segment summary so the cleaner
+and roll-forward can interpret a segment without any other context — the
+property that lets the paper eliminate the free-block bitmap entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# Sentinel "no block" address. Block 0 holds the superblock and can never
+# be a file, metadata, or log block, so 0 is unambiguous.
+NULL_ADDR = 0
+
+# Sentinel marking an inode that exists only in memory (created but not yet
+# flushed). Never valid on disk: inode blocks are written before the inode
+# map in every flush.
+PENDING_ADDR = 0xFFFFFFFFFFFFFFFF
+
+# Sentinel "no segment" (segment numbers start at 0, so 0 cannot be it).
+NO_SEGMENT = 0xFFFFFFFFFFFFFFFF
+
+# Magic numbers guarding each fixed or self-describing structure.
+SUPERBLOCK_MAGIC = 0x4C465331  # "LFS1"
+CHECKPOINT_MAGIC = 0x43504E54  # "CPNT"
+SUMMARY_MAGIC = 0x5355_4D4D  # "SUMM"
+
+# Root directory always has inode number 1; 0 is reserved/invalid.
+ROOT_INUM = 1
+
+# Inode direct pointers, as in the paper ("the disk addresses of the first
+# ten blocks of the file").
+NUM_DIRECT = 10
+
+# sizes of packed records (see blocks.py for the formats)
+INODE_SIZE = 192
+INODE_MAP_ENTRY_SIZE = 32
+SEG_USAGE_ENTRY_SIZE = 24
+SUMMARY_HEADER_SIZE = 48
+SUMMARY_ENTRY_SIZE = 32
+
+
+class BlockKind(enum.IntEnum):
+    """What a block in the log contains, as recorded in segment summaries."""
+
+    DATA = 1  # a file data block (inum, file block offset)
+    INDIRECT = 2  # a single-indirect block (inum, logical index)
+    DINDIRECT = 3  # a double-indirect block (inum, logical index)
+    INODE = 4  # a block of packed inodes
+    INODE_MAP = 5  # a block of the inode map (offset = map block index)
+    SEG_USAGE = 6  # a block of the segment usage table (offset = index)
+    DIROP_LOG = 7  # directory-operation log records
+    SUMMARY = 8  # a segment summary block itself
+
+
+class FileType(enum.IntEnum):
+    """Inode file types."""
+
+    REGULAR = 1
+    DIRECTORY = 2
+
+
+class DirOp(enum.IntEnum):
+    """Directory-operation log opcodes (Section 4.2 of the paper)."""
+
+    CREATE = 1
+    LINK = 2
+    UNLINK = 3
+    RENAME = 4

@@ -1,0 +1,130 @@
+"""The directory operation log (Section 4.2).
+
+Every directory mutation writes a record — operation code, directory and
+file inode numbers, entry name(s), and the file's new reference count —
+into the log *before* the corresponding directory block or inode. During
+roll-forward these records let recovery restore consistency between
+directory entries and inode reference counts, and they make rename atomic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.constants import DirOp
+from repro.core.errors import CorruptionError, InvalidOperationError
+
+# op, pad, file_inum, refcount, dir1_inum, dir2_inum, name1len, name2len
+_HEAD = struct.Struct("<B3xQiQQHH")
+
+
+@dataclass(frozen=True)
+class DirOpRecord:
+    """One logged directory operation.
+
+    For CREATE/LINK/UNLINK only ``dir1``/``name1`` are used; RENAME uses
+    ``dir1``/``name1`` as the source and ``dir2``/``name2`` as the
+    destination. ``refcount`` is the inode's link count *after* the
+    operation (the paper's "new reference count for the inode named in the
+    entry").
+    """
+
+    op: DirOp
+    file_inum: int
+    refcount: int
+    dir1: int
+    name1: str
+    dir2: int = 0
+    name2: str = ""
+
+    def pack(self) -> bytes:
+        n1 = self.name1.encode("utf-8")
+        n2 = self.name2.encode("utf-8")
+        if len(n1) > 0xFFFF or len(n2) > 0xFFFF:
+            raise InvalidOperationError("directory-log name too long")
+        head = _HEAD.pack(
+            int(self.op),
+            self.file_inum,
+            self.refcount,
+            self.dir1,
+            self.dir2,
+            len(n1),
+            len(n2),
+        )
+        return head + n1 + n2
+
+    @classmethod
+    def unpack_from(cls, payload: bytes, pos: int) -> tuple["DirOpRecord", int]:
+        """Parse one record at ``pos``; returns (record, next position)."""
+        if pos + _HEAD.size > len(payload):
+            raise CorruptionError("directory-log record truncated")
+        op_raw, file_inum, refcount, dir1, dir2, n1len, n2len = _HEAD.unpack_from(
+            payload, pos
+        )
+        try:
+            op = DirOp(op_raw)
+        except ValueError as exc:
+            raise CorruptionError(f"bad directory-log opcode {op_raw}") from exc
+        end = pos + _HEAD.size + n1len + n2len
+        if end > len(payload):
+            raise CorruptionError("directory-log names truncated")
+        n1 = payload[pos + _HEAD.size : pos + _HEAD.size + n1len]
+        n2 = payload[pos + _HEAD.size + n1len : end]
+        try:
+            record = cls(
+                op=op,
+                file_inum=file_inum,
+                refcount=refcount,
+                dir1=dir1,
+                name1=n1.decode("utf-8"),
+                dir2=dir2,
+                name2=n2.decode("utf-8"),
+            )
+        except UnicodeDecodeError as exc:
+            raise CorruptionError("directory-log name is not valid UTF-8") from exc
+        return record, end
+
+
+def pack_records(records: list[DirOpRecord], block_size: int) -> list[bytes]:
+    """Pack records into as many block payloads as needed.
+
+    Each block starts with a 4-byte record count; records never span
+    blocks.
+    """
+    blocks: list[bytes] = []
+    current: list[bytes] = []
+    used = 4
+    count = 0
+
+    def flush() -> None:
+        nonlocal current, used, count
+        if count:
+            payload = struct.pack("<I", count) + b"".join(current)
+            blocks.append(payload.ljust(block_size, b"\0"))
+        current, used, count = [], 4, 0
+
+    for record in records:
+        raw = record.pack()
+        if len(raw) + 4 > block_size:
+            raise InvalidOperationError("directory-log record larger than a block")
+        if used + len(raw) > block_size:
+            flush()
+        current.append(raw)
+        used += len(raw)
+        count += 1
+    flush()
+    return blocks
+
+
+def unpack_block(payload: bytes) -> list[DirOpRecord]:
+    """Parse every record in one directory-log block."""
+    if len(payload) < 4:
+        raise CorruptionError("directory-log block truncated")
+    (count,) = struct.unpack_from("<I", payload, 0)
+    records = []
+    pos = 4
+    for _ in range(count):
+        record, pos = DirOpRecord.unpack_from(payload, pos)
+        records.append(record)
+    return records

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the library derives from :class:`LFSError` so callers
+can catch one type. Subclasses distinguish the situations a file-system
+client can reasonably handle differently (missing file vs. full disk vs.
+corrupted metadata).
+"""
+
+from __future__ import annotations
+
+
+class LFSError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DiskRangeError(LFSError):
+    """An I/O request fell outside the device or exceeded a block."""
+
+
+class CorruptionError(LFSError):
+    """On-disk bytes failed validation (bad magic, checksum, or format)."""
+
+
+class NotMountedError(LFSError):
+    """An operation was attempted on an unmounted file system."""
+
+
+class AlreadyMountedError(LFSError):
+    """mkfs or mount was attempted on a mounted file system."""
+
+
+class NoSpaceError(LFSError):
+    """The log ran out of clean segments even after cleaning."""
+
+
+class FileNotFoundLFSError(LFSError):
+    """A path or inode number does not name an existing file."""
+
+
+class FileExistsLFSError(LFSError):
+    """Creation was attempted over an existing directory entry."""
+
+
+class NotADirectoryError_(LFSError):
+    """A path component that must be a directory is a regular file."""
+
+
+class IsADirectoryError_(LFSError):
+    """A file operation was attempted on a directory."""
+
+
+class DirectoryNotEmptyError(LFSError):
+    """A non-empty directory was the target of remove/rename."""
+
+
+class InvalidOperationError(LFSError):
+    """The operation's arguments are structurally invalid."""

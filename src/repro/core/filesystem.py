@@ -1,0 +1,1161 @@
+"""Sprite LFS: the log-structured file system facade.
+
+``LFS`` glues the pieces together: the write-back cache buffers
+modifications; flushes turn dirty blocks into partial-segment writes
+through the :class:`~repro.core.segments.LogWriter` (data, then indirect
+blocks, then inodes, then — at checkpoints — inode-map and segment-usage
+blocks); the cleaner regenerates free segments; checkpoints plus
+roll-forward provide crash recovery. There is no bitmap and no free list:
+free space management is entirely segment-based, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cache import BlockCache
+from repro.core.checkpoint import Checkpoint, read_latest_checkpoint, write_checkpoint
+from repro.core.cleaner import Cleaner
+from repro.core.config import DiskLayout, LFSConfig, compute_layout
+from repro.core.constants import NULL_ADDR, PENDING_ADDR, ROOT_INUM, BlockKind, DirOp, FileType
+from repro.core import directory as dirfmt
+from repro.core.dirlog import DirOpRecord, pack_records
+from repro.core.errors import (
+    LFSError,
+    CorruptionError,
+    DirectoryNotEmptyError,
+    FileExistsLFSError,
+    FileNotFoundLFSError,
+    InvalidOperationError,
+    IsADirectoryError_,
+    NoSpaceError,
+    NotADirectoryError_,
+    NotMountedError,
+)
+from repro.core.inode import Inode, inodes_per_block, pack_inode_block, unpack_inode_block
+from repro.core.inode_map import InodeMap
+from repro.core.mapping import FileMap
+from repro.core.seg_usage import SegmentUsageTable
+from repro.core.segments import LogItem, LogWriter
+from repro.core.superblock import Superblock
+from repro.disk.device import Disk
+
+
+@dataclass
+class StatResult:
+    """Metadata returned by :meth:`LFS.stat`."""
+
+    inum: int
+    ftype: FileType
+    size: int
+    nlink: int
+    mtime: float
+    version: int
+
+    @property
+    def is_directory(self) -> bool:
+        return self.ftype == FileType.DIRECTORY
+
+
+@dataclass
+class LFSStats:
+    """Operation counters and derived performance figures."""
+
+    creates: int = 0
+    deletes: int = 0
+    reads: int = 0
+    writes: int = 0
+    renames: int = 0
+    flushes: int = 0
+    checkpoints: int = 0
+    checkpoint_region_blocks: int = 0
+    ops: int = 0
+
+
+class _DirState:
+    """In-memory image of one directory: per-block entries plus an index."""
+
+    def __init__(self, blocks: list[list[tuple[str, int]]]) -> None:
+        self.blocks = blocks
+        self.index: dict[str, tuple[int, int]] = {}
+        for block_idx, entries in enumerate(blocks):
+            for name, inum in entries:
+                if inum != 0:
+                    self.index[name] = (inum, block_idx)
+
+    def lookup(self, name: str) -> int | None:
+        hit = self.index.get(name)
+        return hit[0] if hit else None
+
+    def names(self) -> list[str]:
+        return sorted(self.index.keys())
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class LFS:
+    """A log-structured file system on a simulated disk.
+
+    Use :meth:`format` to create a fresh file system or :meth:`mount` to
+    attach to an existing one (optionally rolling the log forward after a
+    crash). Paths are ``/``-separated absolute strings.
+    """
+
+    def __init__(self, disk: Disk, config: LFSConfig, layout: DiskLayout) -> None:
+        self.disk = disk
+        self.config = config
+        self.layout = layout
+        self.usage = SegmentUsageTable(
+            layout.num_segments, config.segment_bytes, config.seg_usage_entries_per_block
+        )
+        self.imap = InodeMap(config.max_inodes, config.imap_entries_per_block)
+        self.writer = LogWriter(disk, config, layout, self.usage)
+        self.cache = BlockCache(config.cache_blocks)
+        self.cleaner = Cleaner(self)
+        self.stats = LFSStats()
+        self._inodes: dict[int, Inode] = {}
+        self._dirty_inodes: set[int] = set()
+        self._filemaps: dict[int, FileMap] = {}
+        self._dir_states: dict[int, _DirState] = {}
+        self._pending_dirops: list[DirOpRecord] = []
+        self._dirop_addrs: list[int] = []
+        self._checkpoint_seq = 1
+        self._next_region_b = False
+        self._last_checkpoint_time = disk.clock.now
+        self._mounted = False
+        self._in_cleaner = False
+        self._clean_retry_at = 0
+        self._last_checkpoint_log_blocks = 0
+
+    # ==================================================================
+    # lifecycle
+
+    @classmethod
+    def format(cls, disk: Disk, config: LFSConfig | None = None) -> "LFS":
+        """mkfs: write a fresh file system and return it mounted."""
+        config = config if config is not None else LFSConfig()
+        if config.block_size != disk.geometry.block_size:
+            raise InvalidOperationError(
+                f"config block size {config.block_size} != disk block size "
+                f"{disk.geometry.block_size}"
+            )
+        layout = compute_layout(config, disk.geometry.num_blocks)
+        fs = cls(disk, config, layout)
+        sb = Superblock.from_layout(config, layout)
+        disk.write_block(0, sb.to_bytes(config.block_size))
+        root = Inode(
+            inum=ROOT_INUM,
+            ftype=FileType.DIRECTORY,
+            nlink=1,
+            mtime=disk.clock.now,
+            ctime=disk.clock.now,
+        )
+        fs._inodes[ROOT_INUM] = root
+        fs._dirty_inodes.add(ROOT_INUM)
+        fs._dir_states[ROOT_INUM] = _DirState([])
+        fs.imap.get(ROOT_INUM).addr = PENDING_ADDR
+        fs.imap._next_inum = ROOT_INUM + 1
+        fs._mounted = True
+        fs.checkpoint()
+        return fs
+
+    @classmethod
+    def mount(
+        cls,
+        disk: Disk,
+        config: LFSConfig | None = None,
+        *,
+        roll_forward: bool = True,
+    ) -> "LFS":
+        """Attach to an existing file system.
+
+        Geometry parameters come from the superblock; runtime knobs
+        (cleaning policy, thresholds, checkpoint interval) come from
+        ``config`` if given. With ``roll_forward=False`` the system
+        discards everything written after the last checkpoint, like the
+        paper's production configuration.
+        """
+        sb = Superblock.from_bytes(disk.read_block(0))
+        runtime = config if config is not None else LFSConfig()
+        merged = LFSConfig(
+            block_size=sb.block_size,
+            segment_bytes=sb.segment_bytes,
+            max_inodes=sb.max_inodes,
+            cleaning_policy=runtime.cleaning_policy,
+            age_sort=runtime.age_sort,
+            clean_low_water=runtime.clean_low_water,
+            clean_high_water=runtime.clean_high_water,
+            segments_per_pass=runtime.segments_per_pass,
+            checkpoint_interval=runtime.checkpoint_interval,
+            write_buffer_blocks=runtime.write_buffer_blocks,
+            reserved_segments=runtime.reserved_segments,
+            cache_blocks=runtime.cache_blocks,
+            checkpoint_data_blocks=runtime.checkpoint_data_blocks,
+            selective_read_utilization=runtime.selective_read_utilization,
+            battery_backed_buffer=runtime.battery_backed_buffer,
+        )
+        layout = compute_layout(merged, disk.geometry.num_blocks)
+        if layout.num_segments != sb.num_segments or layout.segment_area_start != sb.segment_area_start:
+            raise CorruptionError("superblock layout does not match device geometry")
+        fs = cls(disk, merged, layout)
+        cp, was_b = read_latest_checkpoint(disk, layout)
+        fs._load_checkpoint(cp, was_b)
+        fs._mounted = True
+        if roll_forward:
+            from repro.core.recovery import roll_forward as do_roll_forward
+
+            report = do_roll_forward(fs, cp)
+            fs.last_recovery = report
+            if report.partial_writes_replayed or report.dirops_applied:
+                fs.checkpoint()
+        return fs
+
+    def _load_checkpoint(self, cp: Checkpoint, was_region_b: bool) -> None:
+        """Initialize in-memory state from a checkpoint region."""
+        for idx, addr in enumerate(cp.imap_addrs):
+            if addr != NULL_ADDR:
+                payload = self.disk.read_block(addr)
+                self.imap.load_block(idx, payload)
+            self.imap.block_addrs[idx] = addr
+        for idx, addr in enumerate(cp.usage_addrs):
+            if addr != NULL_ADDR:
+                payload = self.disk.read_block(addr)
+                self.usage.load_block(idx, payload)
+            self.usage.block_addrs[idx] = addr
+        self.imap._dirty_blocks.clear()
+        for idx in range(self.usage.num_blocks):
+            self.usage.clear_dirty(idx)
+        self.imap._next_inum = cp.next_inum
+        from repro.core.constants import NO_SEGMENT
+
+        next_segment = None if cp.next_segment == NO_SEGMENT else cp.next_segment
+        self.writer.restore_cursor(cp.tail_segment, cp.tail_offset, cp.log_seq, next_segment)
+        self._checkpoint_seq = cp.seq + 1
+        self._next_region_b = not was_region_b
+        self._last_checkpoint_time = cp.timestamp
+        self.disk.clock.advance_to(cp.timestamp)
+
+    def unmount(self) -> None:
+        """Checkpoint and detach."""
+        self._require_mounted()
+        self.checkpoint()
+        self._mounted = False
+
+    def crash(self) -> None:
+        """Simulate an OS crash: all in-memory state is lost.
+
+        The disk keeps whatever was durably written. Use
+        :meth:`LFS.mount` afterwards to recover. With
+        ``battery_backed_buffer`` the write buffer drains to the log
+        before the system halts (unless the disk itself lost power).
+        """
+        if (
+            self._mounted
+            and self.config.battery_backed_buffer
+            and not self.disk.faults.crashed
+        ):
+            try:
+                self.checkpoint()
+            except LFSError:
+                pass  # the battery could not save everything; recover normally
+        self._mounted = False
+        self.cache.clear_all()
+        self._inodes.clear()
+        self._dirty_inodes.clear()
+        self._filemaps.clear()
+        self._dir_states.clear()
+        self._pending_dirops.clear()
+
+    @property
+    def mounted(self) -> bool:
+        """True while the file system accepts operations."""
+        return self._mounted
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise NotMountedError("file system is not mounted")
+
+    # ==================================================================
+    # inode / filemap access
+
+    def _read_log_block(self, addr: int) -> bytes:
+        if addr in (NULL_ADDR, PENDING_ADDR):
+            raise CorruptionError(f"attempt to read sentinel address {addr:#x}")
+        return self.disk.read_block(addr)
+
+    def get_inode(self, inum: int) -> Inode:
+        """Fetch an inode, reading it from the log if necessary."""
+        inode = self._inodes.get(inum)
+        if inode is not None:
+            return inode
+        addr = self.imap.lookup(inum)
+        if addr == PENDING_ADDR:
+            raise CorruptionError(f"inode {inum} pending but not in memory")
+        payload = self._read_log_block(addr)
+        for candidate in unpack_inode_block(payload, self.config.block_size):
+            if candidate.inum == inum:
+                self._inodes[inum] = candidate
+                return candidate
+        raise CorruptionError(f"inode {inum} not found in its inode block")
+
+    def _mark_inode_dirty(self, inum: int) -> None:
+        self._dirty_inodes.add(inum)
+
+    def filemap(self, inum: int) -> FileMap:
+        """The (cached) block map for one file."""
+        fmap = self._filemaps.get(inum)
+        if fmap is None:
+            inode = self.get_inode(inum)
+            fmap = FileMap(
+                inode,
+                self.config.block_size,
+                self._read_log_block,
+                lambda i=inum: self._mark_inode_dirty(i),
+            )
+            self._filemaps[inum] = fmap
+        return fmap
+
+    def block_addr(self, inum: int, fbn: int) -> int:
+        """Current log address of a file block (liveness checks)."""
+        return self.filemap(inum).get(fbn)
+
+    # ==================================================================
+    # path resolution
+
+    @staticmethod
+    def _split_path(path: str) -> list[str]:
+        if not path.startswith("/"):
+            raise InvalidOperationError(f"path {path!r} must be absolute")
+        return [part for part in path.split("/") if part]
+
+    def _resolve(self, path: str) -> int:
+        """Path -> inode number; raises if any component is missing."""
+        inum = ROOT_INUM
+        for part in self._split_path(path):
+            inode = self.get_inode(inum)
+            if not inode.is_directory:
+                raise NotADirectoryError_(f"{part!r} looked up under a non-directory")
+            child = self._dir_state(inum).lookup(part)
+            if child is None:
+                raise FileNotFoundLFSError(f"path {path!r}: component {part!r} not found")
+            inum = child
+        return inum
+
+    def _resolve_parent(self, path: str) -> tuple[int, str]:
+        """Path -> (parent directory inum, final component name)."""
+        parts = self._split_path(path)
+        if not parts:
+            raise InvalidOperationError("the root directory has no parent")
+        parent_path = "/" + "/".join(parts[:-1])
+        parent = self._resolve(parent_path)
+        if not self.get_inode(parent).is_directory:
+            raise NotADirectoryError_(f"parent of {path!r} is not a directory")
+        return parent, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` names a file or directory."""
+        self._require_mounted()
+        try:
+            self._resolve(path)
+            return True
+        except (FileNotFoundLFSError, NotADirectoryError_):
+            return False
+
+    # ==================================================================
+    # directory state
+
+    def _dir_state(self, inum: int) -> _DirState:
+        state = self._dir_states.get(inum)
+        if state is not None:
+            return state
+        inode = self.get_inode(inum)
+        if not inode.is_directory:
+            raise NotADirectoryError_(f"inode {inum} is not a directory")
+        blocks: list[list[tuple[str, int]]] = []
+        for fbn in range(inode.nblocks(self.config.block_size)):
+            payload = self._read_data_block(inum, fbn)
+            blocks.append(dirfmt.parse_block(payload))
+        state = _DirState(blocks)
+        self._dir_states[inum] = state
+        return state
+
+    def _dir_write_block(self, dir_inum: int, block_idx: int, state: _DirState) -> None:
+        payload = dirfmt.pack_block(
+            [e for e in state.blocks[block_idx] if e[1] != 0], self.config.block_size
+        )
+        now = self.disk.clock.now
+        self.cache.write(dir_inum, block_idx, payload, now)
+        inode = self.get_inode(dir_inum)
+        needed = (block_idx + 1) * self.config.block_size
+        if inode.size < needed:
+            inode.size = needed
+        inode.mtime = now
+        self._mark_inode_dirty(dir_inum)
+
+    def _dir_insert(self, dir_inum: int, name: str, file_inum: int) -> None:
+        state = self._dir_state(dir_inum)
+        if state.lookup(name) is not None:
+            raise FileExistsLFSError(f"{name!r} already exists")
+        target = None
+        if state.blocks and dirfmt.block_has_room(
+            state.blocks[-1], name, self.config.block_size
+        ):
+            target = len(state.blocks) - 1
+        else:
+            for idx, entries in enumerate(state.blocks):
+                if dirfmt.block_has_room(entries, name, self.config.block_size):
+                    target = idx
+                    break
+        if target is None:
+            state.blocks.append([])
+            target = len(state.blocks) - 1
+        state.blocks[target].append((name, file_inum))
+        state.index[name] = (file_inum, target)
+        self._dir_write_block(dir_inum, target, state)
+
+    def _dir_remove(self, dir_inum: int, name: str) -> int:
+        state = self._dir_state(dir_inum)
+        hit = state.index.pop(name, None)
+        if hit is None:
+            raise FileNotFoundLFSError(f"{name!r} not found")
+        inum, block_idx = hit
+        state.blocks[block_idx] = [e for e in state.blocks[block_idx] if e[0] != name]
+        self._dir_write_block(dir_inum, block_idx, state)
+        return inum
+
+    # ==================================================================
+    # data block access
+
+    def _read_data_block(self, inum: int, fbn: int) -> bytes:
+        entry = self.cache.lookup(inum, fbn)
+        if entry is not None:
+            return entry.payload
+        addr = self.filemap(inum).get(fbn)
+        if addr == NULL_ADDR:
+            payload = bytes(self.config.block_size)
+        else:
+            payload = self._read_log_block(addr)
+        inode = self._inodes.get(inum)
+        self.cache.insert_clean(inum, fbn, payload, inode.mtime if inode else 0.0)
+        return payload
+
+    # ==================================================================
+    # public operations
+
+    def create(self, path: str, *, ftype: FileType = FileType.REGULAR) -> int:
+        """Create an empty file (or directory); returns the inode number."""
+        self._require_mounted()
+        parent, name = self._resolve_parent(path)
+        dirfmt.validate_name(name)
+        if self._dir_state(parent).lookup(name) is not None:
+            raise FileExistsLFSError(f"{path!r} already exists")
+        inum = self.imap.allocate()
+        now = self.disk.clock.now
+        inode = Inode(
+            inum=inum,
+            version=self.imap.version_of(inum),
+            ftype=ftype,
+            nlink=1,
+            mtime=now,
+            ctime=now,
+        )
+        self._inodes[inum] = inode
+        self._dirty_inodes.add(inum)
+        self.imap.get(inum).addr = PENDING_ADDR
+        self.imap._dirty_blocks.add(self.imap.block_of(inum))
+        if ftype == FileType.DIRECTORY:
+            self._dir_states[inum] = _DirState([])
+        self._pending_dirops.append(
+            DirOpRecord(op=DirOp.CREATE, file_inum=inum, refcount=1, dir1=parent, name1=name)
+        )
+        self._dir_insert(parent, name, inum)
+        self.stats.creates += 1
+        self._after_op()
+        return inum
+
+    def mkdir(self, path: str) -> int:
+        """Create a directory."""
+        return self.create(path, ftype=FileType.DIRECTORY)
+
+    def write(self, path: str, data: bytes, offset: int = 0) -> None:
+        """Write ``data`` at ``offset``, extending the file as needed."""
+        self._require_mounted()
+        inum = self._resolve(path)
+        self.write_inum(inum, data, offset)
+
+    def write_inum(self, inum: int, data: bytes, offset: int = 0) -> None:
+        """Write by inode number (avoids path resolution in benchmarks)."""
+        self._require_mounted()
+        if offset < 0:
+            raise InvalidOperationError("negative offset")
+        inode = self.get_inode(inum)
+        if inode.is_directory:
+            raise IsADirectoryError_(f"inode {inum} is a directory")
+        if not data:
+            return
+        bs = self.config.block_size
+        now = self.disk.clock.now
+        end = offset + len(data)
+        pos = offset
+        while pos < end:
+            fbn = pos // bs
+            block_off = pos % bs
+            take = min(bs - block_off, end - pos)
+            if take == bs:
+                payload = bytes(data[pos - offset : pos - offset + bs])
+            else:
+                base = bytearray(self._read_data_block(inum, fbn))
+                base[block_off : block_off + take] = data[pos - offset : pos - offset + take]
+                payload = bytes(base)
+            self.cache.write(inum, fbn, payload, now)
+            pos += take
+        if end > inode.size:
+            inode.size = end
+        inode.mtime = now
+        self._mark_inode_dirty(inum)
+        self.stats.writes += 1
+        self._after_op()
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append ``data`` to the end of the file."""
+        inum = self._resolve(path)
+        self.write_inum(inum, data, self.get_inode(inum).size)
+
+    def write_file(self, path: str, data: bytes) -> int:
+        """Create (if needed) and write a whole file; returns the inum."""
+        self._require_mounted()
+        if self.exists(path):
+            inum = self._resolve(path)
+            self.truncate(path, 0)
+        else:
+            inum = self.create(path)
+        self.write_inum(inum, data)
+        return inum
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        """Read ``length`` bytes (default: to EOF) starting at ``offset``."""
+        self._require_mounted()
+        return self.read_inum(self._resolve(path), offset, length)
+
+    def read_inum(self, inum: int, offset: int = 0, length: int | None = None) -> bytes:
+        """Read by inode number."""
+        self._require_mounted()
+        if offset < 0:
+            raise InvalidOperationError("negative offset")
+        inode = self.get_inode(inum)
+        if length is None:
+            length = max(0, inode.size - offset)
+        end = min(offset + length, inode.size)
+        if end <= offset:
+            return b""
+        bs = self.config.block_size
+        chunks = []
+        pos = offset
+        while pos < end:
+            fbn = pos // bs
+            block_off = pos % bs
+            take = min(bs - block_off, end - pos)
+            payload = self._read_data_block(inum, fbn)
+            chunks.append(payload[block_off : block_off + take])
+            pos += take
+        self.imap.set_atime(inum, self.disk.clock.now)
+        self.stats.reads += 1
+        self._after_op()
+        return b"".join(chunks)
+
+    def truncate(self, path: str, size: int = 0) -> None:
+        """Shrink a file; truncating to zero bumps the uid version."""
+        self._require_mounted()
+        inum = self._resolve(path)
+        inode = self.get_inode(inum)
+        if inode.is_directory:
+            raise IsADirectoryError_(f"{path!r} is a directory")
+        if size < 0 or size > inode.size:
+            raise InvalidOperationError(f"cannot truncate to {size}")
+        if size == inode.size:
+            return
+        bs = self.config.block_size
+        first_dead_fbn = (size + bs - 1) // bs
+        fmap = self.filemap(inum)
+        freed = fmap.clear_from(first_dead_fbn, inode.nblocks(bs))
+        for _, addr in freed:
+            self.usage.remove_live(self.layout.segment_of(addr), bs)
+        self.cache.drop_from(inum, first_dead_fbn)
+        inode.size = size
+        inode.mtime = self.disk.clock.now
+        if size == 0:
+            inode.version = self.imap.bump_version(inum)
+        self._mark_inode_dirty(inum)
+        self._after_op()
+
+    def unlink(self, path: str) -> None:
+        """Remove a directory entry; frees the file when nlink hits zero."""
+        self._require_mounted()
+        parent, name = self._resolve_parent(path)
+        inum = self._dir_state(parent).lookup(name)
+        if inum is None:
+            raise FileNotFoundLFSError(f"{path!r} not found")
+        inode = self.get_inode(inum)
+        if inode.is_directory:
+            if len(self._dir_state(inum)) != 0:
+                raise DirectoryNotEmptyError(f"{path!r} is not empty")
+        self._pending_dirops.append(
+            DirOpRecord(
+                op=DirOp.UNLINK,
+                file_inum=inum,
+                refcount=inode.nlink - 1,
+                dir1=parent,
+                name1=name,
+            )
+        )
+        self._dir_remove(parent, name)
+        inode.nlink -= 1
+        if inode.nlink <= 0:
+            self._free_inode(inum)
+        else:
+            self._mark_inode_dirty(inum)
+        self.stats.deletes += 1
+        self._after_op()
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        inum = self._resolve(path)
+        if not self.get_inode(inum).is_directory:
+            raise NotADirectoryError_(f"{path!r} is not a directory")
+        self.unlink(path)
+
+    def remove(self, path: str) -> None:
+        """Remove a file or empty directory."""
+        self.unlink(path)
+
+    def link(self, existing: str, newpath: str) -> None:
+        """Create a hard link to an existing regular file."""
+        self._require_mounted()
+        inum = self._resolve(existing)
+        inode = self.get_inode(inum)
+        if inode.is_directory:
+            raise IsADirectoryError_("cannot hard-link a directory")
+        parent, name = self._resolve_parent(newpath)
+        dirfmt.validate_name(name)
+        if self._dir_state(parent).lookup(name) is not None:
+            raise FileExistsLFSError(f"{newpath!r} already exists")
+        self._pending_dirops.append(
+            DirOpRecord(
+                op=DirOp.LINK,
+                file_inum=inum,
+                refcount=inode.nlink + 1,
+                dir1=parent,
+                name1=name,
+            )
+        )
+        self._dir_insert(parent, name, inum)
+        inode.nlink += 1
+        self._mark_inode_dirty(inum)
+        self._after_op()
+
+    def rename(self, oldpath: str, newpath: str) -> None:
+        """Atomically move a file or directory (Section 4.2)."""
+        self._require_mounted()
+        old_parent, old_name = self._resolve_parent(oldpath)
+        new_parent, new_name = self._resolve_parent(newpath)
+        dirfmt.validate_name(new_name)
+        inum = self._dir_state(old_parent).lookup(old_name)
+        if inum is None:
+            raise FileNotFoundLFSError(f"{oldpath!r} not found")
+        displaced = self._dir_state(new_parent).lookup(new_name)
+        if displaced == inum:
+            return
+        inode = self.get_inode(inum)
+        if displaced is not None:
+            victim = self.get_inode(displaced)
+            if victim.is_directory and len(self._dir_state(displaced)):
+                raise DirectoryNotEmptyError(f"{newpath!r} is not empty")
+            self._pending_dirops.append(
+                DirOpRecord(
+                    op=DirOp.UNLINK,
+                    file_inum=displaced,
+                    refcount=victim.nlink - 1,
+                    dir1=new_parent,
+                    name1=new_name,
+                )
+            )
+        self._pending_dirops.append(
+            DirOpRecord(
+                op=DirOp.RENAME,
+                file_inum=inum,
+                refcount=inode.nlink,
+                dir1=old_parent,
+                name1=old_name,
+                dir2=new_parent,
+                name2=new_name,
+            )
+        )
+        if displaced is not None:
+            victim = self.get_inode(displaced)
+            self._dir_remove(new_parent, new_name)
+            victim.nlink -= 1
+            if victim.nlink <= 0:
+                self._free_inode(displaced)
+            else:
+                self._mark_inode_dirty(displaced)
+        self._dir_remove(old_parent, old_name)
+        self._dir_insert(new_parent, new_name, inum)
+        self.stats.renames += 1
+        self._after_op()
+
+    def readdir(self, path: str) -> list[str]:
+        """Names in a directory, sorted."""
+        self._require_mounted()
+        inum = self._resolve(path)
+        if not self.get_inode(inum).is_directory:
+            raise NotADirectoryError_(f"{path!r} is not a directory")
+        return self._dir_state(inum).names()
+
+    def stat(self, path: str) -> StatResult:
+        """Attributes of a file or directory."""
+        self._require_mounted()
+        inum = self._resolve(path)
+        inode = self.get_inode(inum)
+        return StatResult(
+            inum=inum,
+            ftype=inode.ftype,
+            size=inode.size,
+            nlink=inode.nlink,
+            mtime=inode.mtime,
+            version=inode.version,
+        )
+
+    def _free_inode(self, inum: int) -> None:
+        """Release an inode and every block it owns."""
+        inode = self.get_inode(inum)
+        fmap = self.filemap(inum)
+        bs = self.config.block_size
+        for _, addr in fmap.all_block_addrs(inode.nblocks(bs)):
+            self.usage.remove_live(self.layout.segment_of(addr), bs)
+        old = self.imap.get(inum).addr
+        if old not in (NULL_ADDR, PENDING_ADDR):
+            from repro.core.constants import INODE_SIZE
+
+            self.usage.remove_live(self.layout.segment_of(old), INODE_SIZE)
+        self.imap.free(inum)
+        self.cache.drop_file(inum)
+        self._inodes.pop(inum, None)
+        self._filemaps.pop(inum, None)
+        self._dir_states.pop(inum, None)
+        self._dirty_inodes.discard(inum)
+
+    # ==================================================================
+    # flushing and checkpoints
+
+    def _after_op(self) -> None:
+        """Post-operation housekeeping: flush, cleaning, and checkpoints."""
+        self.stats.ops += 1
+        if self.cache.dirty_count >= self.config.write_buffer_blocks:
+            self._ensure_space(self.cache.dirty_count + 64)
+            self.flush()
+        # The paper's threshold policy: start cleaning when clean segments
+        # drop below a low-water mark, continue to the high-water mark.
+        # If the target is unreachable at the current disk utilization,
+        # back off instead of grinding on every operation.
+        if (
+            not self._in_cleaner
+            and self.usage.clean_count < self.config.clean_low_water
+            and self.stats.ops >= self._clean_retry_at
+        ):
+            self.cleaner.clean(self.config.clean_high_water)
+            if self.usage.clean_count < self.config.clean_low_water:
+                self._clean_retry_at = self.stats.ops + 64
+        interval = self.config.checkpoint_interval
+        if interval > 0 and self.disk.clock.now - self._last_checkpoint_time >= interval:
+            self.checkpoint()
+        # Section 4.1's alternative trigger: new data volume since the
+        # last checkpoint, bounding recovery time independently of idle
+        # periods.
+        threshold = self.config.checkpoint_data_blocks
+        if threshold > 0 and (
+            self.writer.stats.total_blocks - self._last_checkpoint_log_blocks >= threshold
+        ):
+            self.checkpoint()
+
+    def _ensure_space(self, upcoming_blocks: int) -> None:
+        """Clean, if needed, so a flush of ``upcoming_blocks`` can succeed."""
+        if self._in_cleaner:
+            return
+        # Hard floor: the flush itself plus a trailing checkpoint.
+        needed_segments = (
+            self.writer.blocks_needed(upcoming_blocks) // self.config.segment_blocks + 2
+        )
+        target = max(self.config.clean_low_water, needed_segments + self.config.reserved_segments)
+        if self.usage.clean_count < target:
+            self.cleaner.clean(max(self.config.clean_high_water, target))
+        if self.usage.clean_count < needed_segments:
+            raise NoSpaceError(
+                f"need {needed_segments} clean segments, have {self.usage.clean_count}"
+            )
+
+    def _build_flush_items(self, *, include_meta: bool, cleaning: bool = False) -> list[LogItem]:
+        """Assemble the ordered item list for one flush.
+
+        Order: directory-op log records first (the paper's before-the-
+        directory-block guarantee), then data blocks, then indirect
+        blocks (children before the double-indirect), then inode blocks,
+        then — for checkpoints — inode-map and segment-usage blocks.
+        """
+        items: list[LogItem] = []
+        bs = self.config.block_size
+        now = self.disk.clock.now
+
+        # -- directory operation log
+        if self._pending_dirops:
+            for payload in pack_records(self._pending_dirops, bs):
+                items.append(
+                    LogItem(
+                        kind=BlockKind.DIROP_LOG,
+                        mtime=now,
+                        get_payload=lambda p=payload: p,
+                        on_placed=self._place_dirop,
+                    )
+                )
+            self._pending_dirops = []
+
+        # -- data blocks
+        dirty = self.cache.dirty_blocks()
+        if cleaning and self.config.age_sort:
+            dirty.sort(key=lambda t: (t[2].mtime, t[0], t[1]))
+        for inum, fbn, entry in dirty:
+            self.filemap(inum).ensure_structures(fbn)
+            items.append(
+                LogItem(
+                    kind=BlockKind.DATA,
+                    inum=inum,
+                    offset=fbn,
+                    version=self.imap.version_of(inum),
+                    mtime=entry.mtime,
+                    get_payload=lambda e=entry: e.payload,
+                    on_placed=lambda addr, i=inum, f=fbn: self._place_data(i, f, addr),
+                )
+            )
+
+        # -- indirect blocks: children and single-indirects, then doubles
+        double_items: list[LogItem] = []
+        for inum, fmap in sorted(self._filemaps.items()):
+            version = self.imap.version_of(inum)
+            mtime = fmap.inode.mtime
+            for child_idx in sorted(fmap.dirty_children):
+                items.append(
+                    LogItem(
+                        kind=BlockKind.INDIRECT,
+                        inum=inum,
+                        offset=1 + child_idx,
+                        version=version,
+                        mtime=mtime,
+                        get_payload=lambda m=fmap, c=child_idx: m.pack_child(c),
+                        on_placed=lambda addr, i=inum, m=fmap, c=child_idx: (
+                            self._place_indirect(i, m.place_child(c, addr), addr)
+                        ),
+                    )
+                )
+            if fmap.l1_dirty:
+                items.append(
+                    LogItem(
+                        kind=BlockKind.INDIRECT,
+                        inum=inum,
+                        offset=0,
+                        version=version,
+                        mtime=mtime,
+                        get_payload=fmap.pack_l1,
+                        on_placed=lambda addr, i=inum, m=fmap: (
+                            self._place_indirect(i, m.place_l1(addr), addr)
+                        ),
+                    )
+                )
+            if fmap.l2_dirty or (fmap.dirty_children and fmap.inode.dindirect == NULL_ADDR):
+                fmap.l2_dirty = True
+                double_items.append(
+                    LogItem(
+                        kind=BlockKind.DINDIRECT,
+                        inum=inum,
+                        offset=0,
+                        version=version,
+                        mtime=mtime,
+                        get_payload=fmap.pack_l2,
+                        on_placed=lambda addr, i=inum, m=fmap: (
+                            self._place_indirect(i, m.place_l2(addr), addr)
+                        ),
+                    )
+                )
+        items.extend(double_items)
+
+        # -- inode blocks
+        dirty_inums = sorted(self._dirty_inodes)
+        per_block = inodes_per_block(bs)
+        for start in range(0, len(dirty_inums), per_block):
+            group = dirty_inums[start : start + per_block]
+            items.append(
+                LogItem(
+                    kind=BlockKind.INODE,
+                    inum=group[0],
+                    offset=0,
+                    mtime=max(self._inodes[i].mtime for i in group),
+                    get_payload=lambda g=group: pack_inode_block(
+                        [self._inodes[i] for i in g], bs
+                    ),
+                    on_placed=lambda addr, g=group: self._place_inodes(g, addr),
+                )
+            )
+        self._dirty_inodes.clear()
+
+        if include_meta:
+            items.extend(self._build_meta_items())
+        return items
+
+    def _build_meta_items(self) -> list[LogItem]:
+        """Inode-map and segment-usage blocks (checkpoint flushes only).
+
+        Dirty flags are cleared as blocks are queued: payloads are packed
+        after every placement in the flush, so the written image is
+        accurate, and anything a placement re-dirties afterwards is picked
+        up by the checkpoint's stabilization loop.
+        """
+        items: list[LogItem] = []
+        bs = self.config.block_size
+        now = self.disk.clock.now
+        for idx in self.imap.dirty_block_indexes():
+            self.imap.clear_dirty(idx)
+            items.append(
+                LogItem(
+                    kind=BlockKind.INODE_MAP,
+                    offset=idx,
+                    mtime=now,
+                    get_payload=lambda i=idx: self.imap.pack_block(i, bs),
+                    on_placed=lambda addr, i=idx: self._place_map_block(
+                        self.imap.block_addrs, i, addr
+                    ),
+                )
+            )
+        for idx in self.usage.dirty_block_indexes():
+            self.usage.clear_dirty(idx)
+            items.append(
+                LogItem(
+                    kind=BlockKind.SEG_USAGE,
+                    offset=idx,
+                    mtime=now,
+                    get_payload=lambda i=idx: self.usage.pack_block(i, bs),
+                    on_placed=lambda addr, i=idx: self._place_map_block(
+                        self.usage.block_addrs, i, addr
+                    ),
+                )
+            )
+        return items
+
+    # ---- placement callbacks ----------------------------------------
+
+    def _place_dirop(self, addr: int) -> None:
+        self._dirop_addrs.append(addr)
+        self.usage.add_live(
+            self.layout.segment_of(addr), self.config.block_size, self.disk.clock.now
+        )
+
+    def _place_data(self, inum: int, fbn: int, addr: int) -> None:
+        fmap = self.filemap(inum)
+        old = fmap.set(fbn, addr)
+        bs = self.config.block_size
+        if old != NULL_ADDR:
+            self.usage.remove_live(self.layout.segment_of(old), bs)
+        entry = self.cache.lookup(inum, fbn)
+        mtime = entry.mtime if entry else self.disk.clock.now
+        self.usage.add_live(self.layout.segment_of(addr), bs, mtime)
+        self.cache.mark_clean(inum, fbn)
+
+    def _place_indirect(self, inum: int, old: int, addr: int) -> None:
+        bs = self.config.block_size
+        if old != NULL_ADDR:
+            self.usage.remove_live(self.layout.segment_of(old), bs)
+        self.usage.add_live(self.layout.segment_of(addr), bs, self.disk.clock.now)
+
+    def _place_inodes(self, inums: list[int], addr: int) -> None:
+        from repro.core.constants import INODE_SIZE
+
+        for inum in inums:
+            old = self.imap.get(inum).addr
+            if old not in (NULL_ADDR, PENDING_ADDR):
+                self.usage.remove_live(self.layout.segment_of(old), INODE_SIZE)
+            self.imap.set_addr(inum, addr)
+            inode = self._inodes.get(inum)
+            mtime = inode.mtime if inode else self.disk.clock.now
+            self.usage.add_live(self.layout.segment_of(addr), INODE_SIZE, mtime)
+
+    def _place_map_block(self, addr_table: list[int], idx: int, addr: int) -> None:
+        old = addr_table[idx]
+        bs = self.config.block_size
+        if old != NULL_ADDR:
+            self.usage.remove_live(self.layout.segment_of(old), bs)
+        addr_table[idx] = addr
+        self.usage.add_live(self.layout.segment_of(addr), bs, self.disk.clock.now)
+
+    # ------------------------------------------------------------------
+
+    def flush(self, *, include_meta: bool = False, cleaning: bool = False) -> int:
+        """Write everything dirty to the log; returns partial writes issued."""
+        self._require_mounted()
+        items = self._build_flush_items(include_meta=include_meta, cleaning=cleaning)
+        if not items:
+            return 0
+        writes = self.writer.append(items, cleaning=cleaning)
+        self.stats.flushes += 1
+        return writes
+
+    def sync(self) -> None:
+        """Flush buffered data and metadata to the log (no checkpoint)."""
+        self._require_mounted()
+        self._ensure_space(self.cache.dirty_count + len(self._dirty_inodes) + 8)
+        self.flush()
+
+    def checkpoint(self) -> None:
+        """Two-phase checkpoint (Section 4.1).
+
+        Phase one flushes all modified information — data, indirect
+        blocks, inodes, inode-map and usage-table blocks — to the log
+        (iterating until the usage table's self-referential updates
+        settle). Phase two writes a checkpoint region at the alternating
+        fixed location, timestamp last.
+        """
+        self._require_mounted()
+        self._ensure_space(
+            self.cache.dirty_count
+            + len(self._dirty_inodes)
+            + self.imap.num_blocks
+            + self.usage.num_blocks
+            + 8
+        )
+        self.flush()
+        # Now write the inode map and segment usage table. The usage table
+        # is self-referential — writing its blocks changes live counts — so
+        # iterate until no map block is re-dirtied (converges in 2-3 steps;
+        # the cap bounds staleness in pathological cases).
+        for _ in range(8):
+            meta = self._build_meta_items()
+            if not meta:
+                break
+            self.writer.append(meta)
+        for idx in range(self.imap.num_blocks):
+            self.imap.clear_dirty(idx)
+        for idx in range(self.usage.num_blocks):
+            self.usage.clear_dirty(idx)
+
+        from repro.core.constants import NO_SEGMENT
+
+        now = self.disk.clock.now
+        cp = Checkpoint(
+            seq=self._checkpoint_seq,
+            timestamp=now,
+            log_seq=self.writer.seq,
+            tail_segment=self.writer.current_segment
+            if self.writer.current_segment is not None
+            else 0,
+            tail_offset=self.writer.offset,
+            next_segment=self.writer.next_segment
+            if self.writer.next_segment is not None
+            else NO_SEGMENT,
+            next_inum=self.imap._next_inum,
+            imap_addrs=list(self.imap.block_addrs),
+            usage_addrs=list(self.usage.block_addrs),
+        )
+        write_checkpoint(self.disk, self.layout, cp, region_b=self._next_region_b)
+        self.stats.checkpoint_region_blocks += self.layout.checkpoint_blocks
+        self._checkpoint_seq += 1
+        self._next_region_b = not self._next_region_b
+        self._last_checkpoint_time = now
+        self._last_checkpoint_log_blocks = self.writer.stats.total_blocks
+        self.stats.checkpoints += 1
+        # Directory-op log records before this checkpoint are now dead.
+        bs = self.config.block_size
+        for addr in self._dirop_addrs:
+            self.usage.remove_live(self.layout.segment_of(addr), bs)
+        self._dirop_addrs = []
+
+    def clean_now(self, target_clean: int | None = None) -> int:
+        """Run the cleaner immediately; returns segments cleaned."""
+        self._require_mounted()
+        target = target_clean if target_clean is not None else self.config.clean_high_water
+        return self.cleaner.clean(target)
+
+    # ==================================================================
+    # derived statistics
+
+    @property
+    def write_cost(self) -> float:
+        """The paper's write cost: total disk traffic per byte of new data.
+
+        ``(log blocks written + cleaner blocks read) / new data blocks``;
+        1.0 means the full disk bandwidth went to new data.
+        """
+        total_written = self.writer.stats.total_blocks + self.stats.checkpoint_region_blocks
+        new_data = self.writer.stats.total_blocks - self.writer.stats.cleaner_blocks
+        if new_data <= 0:
+            return 1.0
+        return (total_written + self.cleaner.stats.blocks_read) / new_data
+
+    @property
+    def disk_capacity_utilization(self) -> float:
+        """Fraction of the segment area occupied by live bytes."""
+        total = self.layout.num_segments * self.config.segment_bytes
+        return self.usage.total_live_bytes() / total if total else 0.0
+
+    def segment_utilizations(self, *, include_clean: bool = False) -> list[float]:
+        """Per-segment utilization snapshot (Figure 10).
+
+        By default only segments that are part of the log are reported;
+        ``include_clean`` adds clean segments (as zeros).
+        """
+        out = []
+        for seg_no in range(self.layout.num_segments):
+            if self.usage.get(seg_no).clean and not include_clean:
+                continue
+            out.append(self.usage.utilization(seg_no))
+        return out
+
+    def live_data_breakdown(self) -> dict[str, int]:
+        """Approximate live bytes on disk by block type (Table 4).
+
+        Walks the inode map and file maps without charging simulated time
+        (this is an analysis probe, not file system activity).
+        """
+        bs = self.config.block_size
+        data = indirect = 0
+        inodes = self.imap.live_count
+        for inum in self.imap.allocated_inums():
+            inode = self.get_inode(inum)
+            fmap = self.filemap(inum)
+            for kind, _ in fmap.all_block_addrs(inode.nblocks(bs)):
+                if kind == "data":
+                    data += bs
+                else:
+                    indirect += bs
+        from repro.core.constants import INODE_SIZE
+
+        imap_bytes = sum(1 for a in self.imap.block_addrs if a != NULL_ADDR) * bs
+        usage_bytes = sum(1 for a in self.usage.block_addrs if a != NULL_ADDR) * bs
+        return {
+            "data": data,
+            "indirect": indirect,
+            "inode": inodes * INODE_SIZE,
+            "inode_map": imap_bytes,
+            "seg_usage": usage_bytes,
+            "dirop_log": len(self._dirop_addrs) * bs,
+        }
+
+    def log_bandwidth_breakdown(self) -> dict[str, int]:
+        """Blocks written to the log by kind since format/mount (Table 4)."""
+        kinds = self.writer.stats.blocks_by_kind
+        return {
+            "data": kinds.get(BlockKind.DATA, 0),
+            "indirect": kinds.get(BlockKind.INDIRECT, 0)
+            + kinds.get(BlockKind.DINDIRECT, 0),
+            "inode": kinds.get(BlockKind.INODE, 0),
+            "inode_map": kinds.get(BlockKind.INODE_MAP, 0),
+            "seg_usage": kinds.get(BlockKind.SEG_USAGE, 0),
+            "dirop_log": kinds.get(BlockKind.DIROP_LOG, 0),
+            "summary": kinds.get(BlockKind.SUMMARY, 0),
+        }

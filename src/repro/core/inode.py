@@ -1,0 +1,165 @@
+"""Inodes and inode-block packing.
+
+As in the paper (Section 3.1), an inode holds the file's attributes plus
+the disk addresses of its first ten blocks; larger files add a single- and
+a double-indirect block. Inodes are written to the log in *inode blocks*
+that pack several inodes each; the inode map records where each file's
+current inode lives.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.blocks import require
+from repro.core.constants import INODE_SIZE, NULL_ADDR, NUM_DIRECT, FileType
+from repro.core.errors import CorruptionError, InvalidOperationError
+
+# inum, version, ftype, pad, nlink, size, mtime, ctime, 10 direct,
+# indirect, double-indirect  (144 bytes packed, padded to INODE_SIZE)
+_INODE = struct.Struct("<QQB3xIQdd10QQQ")
+assert _INODE.size <= INODE_SIZE
+
+
+@dataclass
+class Inode:
+    """One file's on-disk attributes and block pointers.
+
+    Attributes:
+        inum: inode number (``ROOT_INUM`` for the root directory).
+        version: the inode-map version current when this inode instance
+            was written; together with ``inum`` it forms the paper's "uid".
+        ftype: regular file or directory.
+        nlink: directory entries referring to this inode.
+        size: file length in bytes.
+        mtime: last modification, simulated seconds.
+        ctime: creation time, simulated seconds.
+        direct: disk addresses of the first ten blocks.
+        indirect: address of the single-indirect block, or ``NULL_ADDR``.
+        dindirect: address of the double-indirect block, or ``NULL_ADDR``.
+    """
+
+    inum: int
+    version: int = 0
+    ftype: FileType = FileType.REGULAR
+    nlink: int = 1
+    size: int = 0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    direct: list[int] = field(default_factory=lambda: [NULL_ADDR] * NUM_DIRECT)
+    indirect: int = NULL_ADDR
+    dindirect: int = NULL_ADDR
+
+    def __post_init__(self) -> None:
+        if self.inum <= 0:
+            raise InvalidOperationError(f"invalid inode number {self.inum}")
+        if len(self.direct) != NUM_DIRECT:
+            raise InvalidOperationError(
+                f"direct pointer array must have {NUM_DIRECT} entries"
+            )
+
+    @property
+    def is_directory(self) -> bool:
+        """True for directory inodes."""
+        return self.ftype == FileType.DIRECTORY
+
+    def nblocks(self, block_size: int) -> int:
+        """Number of data blocks implied by the file size."""
+        return (self.size + block_size - 1) // block_size
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a fixed ``INODE_SIZE`` record."""
+        packed = _INODE.pack(
+            self.inum,
+            self.version,
+            int(self.ftype),
+            self.nlink,
+            self.size,
+            self.mtime,
+            self.ctime,
+            *self.direct,
+            self.indirect,
+            self.dindirect,
+        )
+        return packed.ljust(INODE_SIZE, b"\0")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Inode":
+        """Parse a fixed-size inode record."""
+        require(len(raw) >= _INODE.size, "inode record truncated")
+        fields = _INODE.unpack_from(raw, 0)
+        inum, version, ftype_raw, nlink, size, mtime, ctime = fields[:7]
+        direct = list(fields[7 : 7 + NUM_DIRECT])
+        indirect, dindirect = fields[7 + NUM_DIRECT :]
+        try:
+            ftype = FileType(ftype_raw)
+        except ValueError as exc:
+            raise CorruptionError(f"bad file type {ftype_raw} in inode {inum}") from exc
+        return cls(
+            inum=inum,
+            version=version,
+            ftype=ftype,
+            nlink=nlink,
+            size=size,
+            mtime=mtime,
+            ctime=ctime,
+            direct=direct,
+            indirect=indirect,
+            dindirect=dindirect,
+        )
+
+    def copy(self) -> "Inode":
+        """Deep copy (direct pointer list included)."""
+        return Inode(
+            inum=self.inum,
+            version=self.version,
+            ftype=self.ftype,
+            nlink=self.nlink,
+            size=self.size,
+            mtime=self.mtime,
+            ctime=self.ctime,
+            direct=list(self.direct),
+            indirect=self.indirect,
+            dindirect=self.dindirect,
+        )
+
+
+def inodes_per_block(block_size: int) -> int:
+    """How many packed inodes fit in one inode block."""
+    return block_size // INODE_SIZE
+
+
+def pack_inode_block(inodes: list[Inode], block_size: int) -> bytes:
+    """Pack inodes into one zero-padded inode-block payload."""
+    cap = inodes_per_block(block_size)
+    if len(inodes) > cap:
+        raise InvalidOperationError(f"{len(inodes)} inodes exceed block capacity {cap}")
+    payload = b"".join(ino.to_bytes() for ino in inodes)
+    return payload.ljust(block_size, b"\0")
+
+
+def unpack_inode_block(payload: bytes, block_size: int) -> list[Inode]:
+    """Parse every inode in an inode-block payload.
+
+    A slot whose inode number is zero terminates the block (zero padding).
+    """
+    out: list[Inode] = []
+    for start in range(0, (len(payload) // INODE_SIZE) * INODE_SIZE, INODE_SIZE):
+        chunk = payload[start : start + INODE_SIZE]
+        (inum,) = struct.unpack_from("<Q", chunk, 0)
+        if inum == 0:
+            break
+        out.append(Inode.from_bytes(chunk))
+    return out
+
+
+def addrs_per_indirect(block_size: int) -> int:
+    """Block addresses held by one indirect block."""
+    return block_size // 8
+
+
+def max_file_blocks(block_size: int) -> int:
+    """Largest file (in blocks) addressable by the inode geometry."""
+    per = addrs_per_indirect(block_size)
+    return NUM_DIRECT + per + per * per

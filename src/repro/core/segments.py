@@ -1,0 +1,234 @@
+"""The log writer: partial-segment writes (Section 3.2).
+
+``LogWriter`` turns an ordered list of :class:`LogItem` into one or more
+partial-segment writes, each a single streamed disk request of
+``[summary block][described blocks...]``. Items are placed (addresses
+assigned, pointer/accounting callbacks run) before their payloads are
+serialized, so blocks whose contents depend on the addresses of earlier
+blocks in the same flush — inodes after data, the inode map after inodes —
+come out consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import DiskLayout, LFSConfig
+from repro.core.constants import NO_SEGMENT, BlockKind
+from repro.core.errors import NoSpaceError
+from repro.core.seg_usage import SegmentUsageTable
+from repro.core.summary import SegmentSummary, SummaryEntry, summary_capacity
+from repro.disk.device import Disk
+
+
+@dataclass
+class LogItem:
+    """One block queued for the log.
+
+    Attributes:
+        kind: what the block is (drives the summary entry).
+        inum: owning inode number, if any.
+        offset: position within the owning structure (file block number,
+            indirect index, map block index).
+        version: owning file's uid version at write time.
+        mtime: the block's modification time; the summary's
+            ``youngest_mtime`` is the max over its items, and age-sorting
+            orders by this.
+        get_payload: produces the final block payload; called only after
+            every item in the same partial write has been placed.
+        on_placed: called with the assigned disk address; updates
+            in-memory pointers (inode/indirect/map) and segment usage
+            accounting.
+    """
+
+    kind: BlockKind
+    inum: int = 0
+    offset: int = 0
+    version: int = 0
+    mtime: float = 0.0
+    get_payload: Callable[[], bytes] = lambda: b""
+    on_placed: Callable[[int], None] = lambda addr: None
+
+
+@dataclass
+class LogWriteStats:
+    """Counters over everything the log writer has emitted."""
+
+    partial_writes: int = 0
+    blocks_by_kind: dict[BlockKind, int] = field(default_factory=dict)
+    cleaner_blocks: int = 0
+    total_blocks: int = 0
+    segments_opened: int = 0
+
+    def count(self, kind: BlockKind, n: int = 1) -> None:
+        self.blocks_by_kind[kind] = self.blocks_by_kind.get(kind, 0) + n
+        self.total_blocks += n
+
+
+class LogWriter:
+    """Appends partial-segment writes to the log.
+
+    The writer owns the log cursor (current segment and block offset
+    within it) and the global partial-write sequence number, both of which
+    are persisted by checkpoints. It takes clean segments from the usage
+    table as the log advances; running dry raises :class:`NoSpaceError`
+    (the file system is responsible for cleaning *before* flushing).
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        config: LFSConfig,
+        layout: DiskLayout,
+        usage: SegmentUsageTable,
+    ) -> None:
+        self.disk = disk
+        self.config = config
+        self.layout = layout
+        self.usage = usage
+        self.stats = LogWriteStats()
+        self.current_segment: int | None = None
+        self.next_segment: int | None = None  # reserved successor (threading)
+        self.offset = 0  # blocks already used in the current segment
+        self.seq = 1  # next partial-write sequence number
+        self._capacity = summary_capacity(config.block_size)
+        # Segments held back from normal traffic so the cleaner always has
+        # workspace; the file system sets ``exempt`` while cleaning.
+        self.reserve = config.reserved_segments
+        self.exempt = False
+
+    # ------------------------------------------------------------------
+    # cursor management
+
+    def restore_cursor(
+        self, segment: int, offset: int, seq: int, next_segment: int | None = None
+    ) -> None:
+        """Resume the log where a checkpoint (or roll-forward) left it."""
+        self.current_segment = segment
+        self.offset = offset
+        self.seq = seq
+        self.next_segment = next_segment
+        if segment is not None:
+            self.usage.mark_in_use(segment)
+        if next_segment is not None:
+            self.usage.mark_in_use(next_segment)
+
+    def _remaining_in_segment(self) -> int:
+        if self.current_segment is None:
+            return 0
+        return self.config.segment_blocks - self.offset
+
+    def _reserve_next(self) -> None:
+        """Reserve the segment the log will continue into.
+
+        The successor is chosen *before* the current segment fills so
+        every summary written into the current segment can record it —
+        this is what threads the log for roll-forward. Normal traffic may
+        not dip into the cleaner's reserve.
+        """
+        if self.next_segment is not None:
+            return
+        clean = [s for s in self.usage.clean_segments() if s != self.current_segment]
+        if not clean:
+            return
+        if not self.exempt and len(clean) <= self.reserve:
+            raise NoSpaceError(
+                f"log reserve reached: {len(clean)} clean segments <= "
+                f"reserve of {self.reserve} (the cleaner could not keep up)"
+            )
+        self.next_segment = clean[0]
+        self.usage.mark_in_use(clean[0])
+
+    def _advance_segment(self) -> None:
+        """Move the cursor to the reserved (or a fresh) clean segment."""
+        if self.next_segment is not None:
+            seg = self.next_segment
+            self.next_segment = None
+            self.usage.mark_in_use(seg)
+        else:
+            clean = self.usage.clean_segments()
+            if not clean:
+                raise NoSpaceError("no clean segments left for the log")
+            seg = clean[0]
+            self.usage.mark_in_use(seg)
+        self.current_segment = seg
+        self.offset = 0
+        self.stats.segments_opened += 1
+        self._reserve_next()
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def append(self, items: list[LogItem], *, cleaning: bool = False) -> int:
+        """Write ``items`` to the log in order; returns partial writes issued.
+
+        Items are chunked into partial writes bounded by the space left in
+        the current segment and by summary capacity. For each partial
+        write: place every item (assign addresses, run callbacks), then
+        serialize payloads, then issue one streamed disk write of
+        summary + payloads.
+        """
+        if not items:
+            return 0
+        writes = 0
+        pos = 0
+        now = self.disk.clock.now
+        while pos < len(items):
+            if self.current_segment is None or self._remaining_in_segment() < 2:
+                self._advance_segment()
+            if self.next_segment is None:
+                self._reserve_next()
+            room = self._remaining_in_segment() - 1  # minus the summary block
+            batch = items[pos : pos + min(room, self._capacity)]
+            pos += len(batch)
+
+            start_addr = self.layout.segment_start(self.current_segment) + self.offset
+            entries = []
+            youngest = 0.0
+            for i, item in enumerate(batch):
+                addr = start_addr + 1 + i
+                item.on_placed(addr)
+                entries.append(
+                    SummaryEntry(
+                        kind=item.kind,
+                        inum=item.inum,
+                        offset=item.offset,
+                        version=item.version,
+                    )
+                )
+                if item.mtime > youngest:
+                    youngest = item.mtime
+
+            payloads = [item.get_payload() for item in batch]
+            summary = SegmentSummary(
+                seq=self.seq,
+                write_time=now,
+                youngest_mtime=youngest,
+                entries=entries,
+                next_segment=self.next_segment
+                if self.next_segment is not None
+                else NO_SEGMENT,
+            )
+            summary_block = summary.pack(payloads, self.config.block_size)
+
+            self.disk.write_blocks(start_addr, [summary_block] + payloads)
+            self.usage.add_live(self.current_segment, 0, now)  # stamp write time
+            self.offset += 1 + len(batch)
+            self.seq += 1
+            writes += 1
+            self.stats.partial_writes += 1
+            self.stats.count(BlockKind.SUMMARY)
+            for item in batch:
+                self.stats.count(item.kind)
+            if cleaning:
+                self.stats.cleaner_blocks += 1 + len(batch)
+        return writes
+
+    def blocks_needed(self, item_count: int) -> int:
+        """Upper bound on log blocks (items + summaries) for a flush."""
+        if item_count == 0:
+            return 0
+        per_write = min(self._capacity, self.config.segment_blocks - 1)
+        writes = (item_count + per_write - 1) // per_write
+        return item_count + writes

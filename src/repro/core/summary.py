@@ -1,0 +1,154 @@
+"""Segment summary blocks (Section 3.2).
+
+Each partial-segment write is led by a summary block identifying every
+block in the write: its kind, owning file, position within the file, and
+the file's uid version. Summaries serve the cleaner (liveness without a
+bitmap) and roll-forward (finding recently written inodes). A CRC over the
+described payloads makes a torn partial write self-invalidating.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.blocks import checksum, require
+from repro.core.constants import (
+    SUMMARY_ENTRY_SIZE,
+    SUMMARY_HEADER_SIZE,
+    SUMMARY_MAGIC,
+    BlockKind,
+)
+from repro.core.errors import CorruptionError, InvalidOperationError
+
+# magic, pad, seq, write_time, nentries, crc, youngest_mtime, next_segment
+_HEADER = struct.Struct("<I4xQdIIdQ")
+assert _HEADER.size == SUMMARY_HEADER_SIZE
+
+# kind, pad, inum, offset, version
+_ENTRY = struct.Struct("<B7xQQQ")
+assert _ENTRY.size == SUMMARY_ENTRY_SIZE
+
+
+def summary_capacity(block_size: int) -> int:
+    """Maximum blocks one summary block can describe."""
+    return (block_size - SUMMARY_HEADER_SIZE) // SUMMARY_ENTRY_SIZE
+
+
+@dataclass(frozen=True)
+class SummaryEntry:
+    """Identity of one block within a partial-segment write.
+
+    ``offset`` is the block's position within its owning structure: the
+    file block number for data, the logical index for indirect blocks, the
+    map/table block index for inode-map and usage blocks, zero otherwise.
+    ``version`` is the owning file's uid version at write time (zero for
+    structures without one).
+    """
+
+    kind: BlockKind
+    inum: int = 0
+    offset: int = 0
+    version: int = 0
+
+    def pack(self) -> bytes:
+        return _ENTRY.pack(int(self.kind), self.inum, self.offset, self.version)
+
+    @classmethod
+    def unpack(cls, raw: bytes, pos: int) -> "SummaryEntry":
+        kind_raw, inum, offset, version = _ENTRY.unpack_from(raw, pos)
+        try:
+            kind = BlockKind(kind_raw)
+        except ValueError as exc:
+            raise CorruptionError(f"bad block kind {kind_raw} in summary") from exc
+        return cls(kind=kind, inum=inum, offset=offset, version=version)
+
+
+@dataclass
+class SegmentSummary:
+    """A parsed (or to-be-written) segment summary.
+
+    Attributes:
+        seq: globally monotonic partial-write sequence number; recovery
+            orders partial writes by it.
+        write_time: simulated time of the write.
+        youngest_mtime: modification time of the youngest block in the
+            write (Section 3.6's age estimate for cost-benefit cleaning).
+        entries: one per described block, in on-disk order; the described
+            blocks immediately follow the summary block.
+        crc: CRC-32 over the described payloads (filled by ``pack``).
+        next_segment: the segment the log continues into after the current
+            one fills — the paper's segment-by-segment threading, which
+            lets roll-forward follow the log without scanning the disk.
+            ``NO_SEGMENT`` when the writer has no reserved successor.
+    """
+
+    seq: int
+    write_time: float
+    youngest_mtime: float = 0.0
+    entries: list[SummaryEntry] = field(default_factory=list)
+    crc: int = 0
+    next_segment: int = 0xFFFFFFFFFFFFFFFF
+
+    def pack(self, payloads: list[bytes], block_size: int) -> bytes:
+        """Serialize the summary, computing the CRC over ``payloads``."""
+        if len(payloads) != len(self.entries):
+            raise InvalidOperationError(
+                f"{len(self.entries)} entries describe {len(payloads)} payloads"
+            )
+        if len(self.entries) > summary_capacity(block_size):
+            raise InvalidOperationError(
+                f"{len(self.entries)} entries exceed summary capacity "
+                f"{summary_capacity(block_size)}"
+            )
+        self.crc = checksum(payloads)
+        header = _HEADER.pack(
+            SUMMARY_MAGIC,
+            self.seq,
+            self.write_time,
+            len(self.entries),
+            self.crc,
+            self.youngest_mtime,
+            self.next_segment,
+        )
+        body = b"".join(e.pack() for e in self.entries)
+        return (header + body).ljust(block_size, b"\0")
+
+    @classmethod
+    def unpack(cls, payload: bytes, block_size: int) -> "SegmentSummary":
+        """Parse a summary block; raises :class:`CorruptionError` if invalid."""
+        require(len(payload) >= SUMMARY_HEADER_SIZE, "summary block truncated")
+        magic, seq, write_time, nentries, crc, youngest, next_segment = _HEADER.unpack_from(
+            payload, 0
+        )
+        require(magic == SUMMARY_MAGIC, "bad summary magic")
+        require(0 <= nentries <= summary_capacity(block_size), "summary entry count out of range")
+        entries = []
+        pos = SUMMARY_HEADER_SIZE
+        require(
+            len(payload) >= SUMMARY_HEADER_SIZE + nentries * SUMMARY_ENTRY_SIZE,
+            "summary entries truncated",
+        )
+        for _ in range(nentries):
+            entries.append(SummaryEntry.unpack(payload, pos))
+            pos += SUMMARY_ENTRY_SIZE
+        return cls(
+            seq=seq,
+            write_time=write_time,
+            youngest_mtime=youngest,
+            entries=entries,
+            crc=crc,
+            next_segment=next_segment,
+        )
+
+    def verify(self, payloads: list[bytes]) -> bool:
+        """True if ``payloads`` match the recorded CRC (torn-write check)."""
+        return len(payloads) == len(self.entries) and checksum(payloads) == self.crc
+
+
+def try_parse_summary(payload: bytes, block_size: int) -> SegmentSummary | None:
+    """Parse a block as a summary, returning None when it is not one."""
+    try:
+        return SegmentSummary.unpack(payload, block_size)
+    except CorruptionError:
+        return None

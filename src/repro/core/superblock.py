@@ -1,0 +1,101 @@
+"""The superblock (Table 1): static configuration at a fixed location.
+
+Block 0 holds the parameters needed to interpret the rest of the disk —
+block size, segment size, inode-map capacity, and the placement of the two
+checkpoint regions and the segment area. It is written once by mkfs and
+never changes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.blocks import require
+from repro.core.config import DiskLayout, LFSConfig
+from repro.core.constants import SUPERBLOCK_MAGIC
+
+_FORMAT = struct.Struct("<IIQQQQQQQQ")
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """Parsed superblock contents."""
+
+    block_size: int
+    segment_bytes: int
+    max_inodes: int
+    num_segments: int
+    segment_area_start: int
+    checkpoint_blocks: int
+    checkpoint_a: int
+    checkpoint_b: int
+
+    def to_bytes(self, block_size: int) -> bytes:
+        payload = _FORMAT.pack(
+            SUPERBLOCK_MAGIC,
+            FORMAT_VERSION,
+            self.block_size,
+            self.segment_bytes,
+            self.max_inodes,
+            self.num_segments,
+            self.segment_area_start,
+            self.checkpoint_blocks,
+            self.checkpoint_a,
+            self.checkpoint_b,
+        )
+        return payload.ljust(block_size, b"\0")
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Superblock":
+        require(len(payload) >= _FORMAT.size, "superblock truncated")
+        (
+            magic,
+            version,
+            block_size,
+            segment_bytes,
+            max_inodes,
+            num_segments,
+            segment_area_start,
+            checkpoint_blocks,
+            checkpoint_a,
+            checkpoint_b,
+        ) = _FORMAT.unpack_from(payload, 0)
+        require(magic == SUPERBLOCK_MAGIC, "bad superblock magic (not an LFS disk?)")
+        require(version == FORMAT_VERSION, f"unsupported format version {version}")
+        return cls(
+            block_size=block_size,
+            segment_bytes=segment_bytes,
+            max_inodes=max_inodes,
+            num_segments=num_segments,
+            segment_area_start=segment_area_start,
+            checkpoint_blocks=checkpoint_blocks,
+            checkpoint_a=checkpoint_a,
+            checkpoint_b=checkpoint_b,
+        )
+
+    @classmethod
+    def from_layout(cls, config: LFSConfig, layout: DiskLayout) -> "Superblock":
+        return cls(
+            block_size=config.block_size,
+            segment_bytes=config.segment_bytes,
+            max_inodes=config.max_inodes,
+            num_segments=layout.num_segments,
+            segment_area_start=layout.segment_area_start,
+            checkpoint_blocks=layout.checkpoint_blocks,
+            checkpoint_a=layout.checkpoint_a,
+            checkpoint_b=layout.checkpoint_b,
+        )
+
+    def layout(self) -> DiskLayout:
+        """Reconstruct the disk layout recorded here."""
+        return DiskLayout(
+            num_blocks=0,  # not needed once placement is fixed
+            checkpoint_blocks=self.checkpoint_blocks,
+            checkpoint_a=self.checkpoint_a,
+            checkpoint_b=self.checkpoint_b,
+            segment_area_start=self.segment_area_start,
+            num_segments=self.num_segments,
+            segment_blocks=self.segment_bytes // self.block_size,
+        )

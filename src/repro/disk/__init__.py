@@ -1,0 +1,22 @@
+"""Simulated disk substrate.
+
+The paper's evaluation is entirely about disk-time economics: seeks versus
+sequential transfer. This package provides an in-memory block device with a
+service-time model (seek + rotational latency + transfer) calibrated by
+default to the Wren IV disk used in the paper, plus deterministic crash
+injection for recovery experiments.
+"""
+
+from repro.disk.device import Disk
+from repro.disk.faults import CrashInjector, DiskCrashed
+from repro.disk.geometry import DiskGeometry
+from repro.disk.timing import IOStats, SimClock
+
+__all__ = [
+    "CrashInjector",
+    "Disk",
+    "DiskCrashed",
+    "DiskGeometry",
+    "IOStats",
+    "SimClock",
+]

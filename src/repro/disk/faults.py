@@ -1,0 +1,75 @@
+"""Deterministic crash injection for recovery experiments.
+
+The paper's recovery guarantees are defined entirely by what is durable on
+disk when the machine dies. ``CrashInjector`` lets a test cut the write
+stream after an exact number of block writes — mid-checkpoint, mid-segment,
+wherever — after which the device refuses all traffic until it is
+"powered on" again. Because the file system must then re-mount purely from
+on-disk bytes, this exercises the real recovery path.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import LFSError
+
+
+class DiskCrashed(LFSError):
+    """Raised when a request reaches a disk whose power has been cut."""
+
+
+class CrashInjector:
+    """Arms a disk to fail after a fixed number of future block writes.
+
+    A count of ``n`` means the next ``n`` block writes succeed and are
+    durable; the write of block ``n + 1`` (and everything after it) raises
+    :class:`DiskCrashed` without persisting anything. Reads also fail once
+    the crash has fired, matching a powered-off device.
+    """
+
+    def __init__(self) -> None:
+        self._writes_remaining: int | None = None
+        self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        """True once the injected crash has fired (or was forced)."""
+        return self._crashed
+
+    @property
+    def armed(self) -> bool:
+        """True while a countdown is pending."""
+        return self._writes_remaining is not None and not self._crashed
+
+    def arm_after_writes(self, count: int) -> None:
+        """Allow ``count`` more block writes, then crash."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._writes_remaining = count
+        self._crashed = False
+
+    def force_crash(self) -> None:
+        """Cut power immediately."""
+        self._crashed = True
+        self._writes_remaining = None
+
+    def power_on(self) -> None:
+        """Restore the device after a crash; disarms any countdown."""
+        self._crashed = False
+        self._writes_remaining = None
+
+    def check_read(self) -> None:
+        """Raise if a read arrives while the device is down."""
+        if self._crashed:
+            raise DiskCrashed("read issued to a crashed disk")
+
+    def check_write(self) -> None:
+        """Account one block write; raise if it must not persist."""
+        if self._crashed:
+            raise DiskCrashed("write issued to a crashed disk")
+        if self._writes_remaining is None:
+            return
+        if self._writes_remaining == 0:
+            self._crashed = True
+            self._writes_remaining = None
+            raise DiskCrashed("injected crash: write limit reached")
+        self._writes_remaining -= 1

@@ -1,0 +1,130 @@
+"""Simulated clock and I/O statistics.
+
+Every experiment in this reproduction reports *simulated* time: the clock
+only advances when the disk performs work or when a harness explicitly
+charges CPU time. This keeps all results deterministic and independent of
+the speed of the Python interpreter running them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to ``when`` if it is in the future."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"
+
+
+@dataclass
+class IOStats:
+    """Counters describing the traffic a disk has served.
+
+    ``busy_time`` is the total seconds the disk spent servicing requests;
+    dividing by elapsed simulated time gives the utilization figures the
+    paper quotes (e.g. "SunOS kept the disk busy 85% of the time").
+    """
+
+    reads: int = 0
+    writes: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    busy_time: float = 0.0
+    seek_time: float = 0.0
+    transfer_time: float = 0.0
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(
+            reads=self.reads,
+            writes=self.writes,
+            blocks_read=self.blocks_read,
+            blocks_written=self.blocks_written,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            seeks=self.seeks,
+            busy_time=self.busy_time,
+            seek_time=self.seek_time,
+            transfer_time=self.transfer_time,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Return the difference between these counters and ``earlier``."""
+        return IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            blocks_read=self.blocks_read - earlier.blocks_read,
+            blocks_written=self.blocks_written - earlier.blocks_written,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            seeks=self.seeks - earlier.seeks,
+            busy_time=self.busy_time - earlier.busy_time,
+            seek_time=self.seek_time - earlier.seek_time,
+            transfer_time=self.transfer_time - earlier.transfer_time,
+        )
+
+    @property
+    def total_ops(self) -> int:
+        """Total read plus write requests."""
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved in either direction."""
+        return self.bytes_read + self.bytes_written
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the disk was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+@dataclass
+class BandwidthReport:
+    """Bandwidth achieved by a phase of a benchmark."""
+
+    label: str
+    nbytes: int
+    elapsed: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Achieved bandwidth; zero if no time elapsed."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.nbytes / self.elapsed
+
+    @property
+    def kilobytes_per_second(self) -> float:
+        """Bandwidth in the paper's Figure 9 units."""
+        return self.bytes_per_second / 1024.0

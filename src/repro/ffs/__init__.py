@@ -1,0 +1,22 @@
+"""A Unix FFS-style baseline file system (the paper's comparison point).
+
+This models the Berkeley Fast File System the way the paper characterizes
+it: inodes live at fixed disk addresses grouped into cylinder groups, a
+bitmap allocates data blocks near their inode for logical locality, file
+data is written asynchronously, and metadata (directory blocks, directory
+inodes, and new-file inodes — the latter written twice) is written
+synchronously. Creating a small file therefore costs the paper's "at
+least five separate disk I/Os, each preceded by a seek".
+"""
+
+from repro.ffs.allocator import BitmapAllocator
+from repro.ffs.filesystem import FFS, FFSConfig
+from repro.ffs.layout import FFSLayout, compute_ffs_layout
+
+__all__ = [
+    "FFS",
+    "BitmapAllocator",
+    "FFSConfig",
+    "FFSLayout",
+    "compute_ffs_layout",
+]

@@ -1,0 +1,91 @@
+"""Access patterns for the cleaning simulator (Section 3.5).
+
+Two pseudo-random patterns from the paper: *uniform* (every file equally
+likely) and *hot-and-cold* (a hot group holding ``hot_fraction`` of the
+files receives ``hot_access_fraction`` of the writes; 10%/90% in the
+paper). Patterns are deterministic given the injected RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class AccessPattern(ABC):
+    """Chooses which file each simulation step overwrites."""
+
+    @abstractmethod
+    def bind(self, num_files: int, rng: random.Random) -> None:
+        """Fix the file population and randomness source."""
+
+    @abstractmethod
+    def next_file(self) -> int:
+        """The file index overwritten by the next step."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Label used in figures."""
+
+
+class UniformPattern(AccessPattern):
+    """Every file has equal likelihood of being selected in each step."""
+
+    def __init__(self) -> None:
+        self._num_files = 0
+        self._rng: random.Random | None = None
+
+    def bind(self, num_files: int, rng: random.Random) -> None:
+        if num_files < 1:
+            raise ValueError("need at least one file")
+        self._num_files = num_files
+        self._rng = rng
+
+    def next_file(self) -> int:
+        return self._rng.randrange(self._num_files)
+
+    @property
+    def name(self) -> str:
+        return "uniform"
+
+
+class HotColdPattern(AccessPattern):
+    """The paper's locality model.
+
+    ``hot_fraction`` of the files (the hot group) receive
+    ``hot_access_fraction`` of the accesses; within each group selection
+    is uniform. The paper's experiment uses 0.1 and 0.9 ("90% of the
+    accesses go to 10% of the files") and notes that performance of the
+    greedy policy gets worse as locality increases.
+    """
+
+    def __init__(self, hot_fraction: float = 0.1, hot_access_fraction: float = 0.9) -> None:
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0.0 < hot_access_fraction < 1.0:
+            raise ValueError("hot_access_fraction must be in (0, 1)")
+        self.hot_fraction = hot_fraction
+        self.hot_access_fraction = hot_access_fraction
+        self._num_hot = 0
+        self._num_files = 0
+        self._rng: random.Random | None = None
+
+    def bind(self, num_files: int, rng: random.Random) -> None:
+        if num_files < 2:
+            raise ValueError("need at least two files for two groups")
+        self._num_files = num_files
+        self._num_hot = max(1, round(num_files * self.hot_fraction))
+        self._rng = rng
+
+    def next_file(self) -> int:
+        rng = self._rng
+        if rng.random() < self.hot_access_fraction:
+            return rng.randrange(self._num_hot)
+        return self._num_hot + rng.randrange(self._num_files - self._num_hot)
+
+    @property
+    def name(self) -> str:
+        hot_pct = round(self.hot_access_fraction * 100)
+        files_pct = round(self.hot_fraction * 100)
+        return f"hot-and-cold {hot_pct}/{files_pct}"

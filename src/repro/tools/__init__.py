@@ -1,0 +1,18 @@
+"""Operational tooling: an offline integrity checker and a log inspector.
+
+Unlike Unix fsck, :mod:`repro.tools.lfsck` is *not* needed for crash
+recovery (checkpoints plus roll-forward handle that); it exists to verify
+the reproduction's on-disk invariants — the role the paper assigns to
+fsck is precisely what LFS eliminates.
+"""
+
+from repro.tools.dumplog import dump_checkpoints, dump_segment, dump_superblock
+from repro.tools.lfsck import CheckReport, check_filesystem
+
+__all__ = [
+    "CheckReport",
+    "check_filesystem",
+    "dump_checkpoints",
+    "dump_segment",
+    "dump_superblock",
+]

@@ -1,0 +1,259 @@
+"""lfsck — offline integrity checker for an LFS disk image.
+
+Reads only on-disk bytes (no file-system state) and verifies:
+
+1. the superblock parses and matches the device;
+2. at least one checkpoint region is valid;
+3. every inode-map entry with an address points at a parseable inode
+   block containing an inode with the right number and version;
+4. every file block pointer (direct and indirect) lies inside the
+   segment area and no two live files claim the same block;
+5. directory trees are connected: every directory entry names a live
+   inode, link counts match entry counts, and every non-root live inode
+   is reachable from the root;
+6. the segment usage table's live-byte counts are consistent with the
+   actual live data (within the block-rounding granularity).
+
+All reads use ``disk.peek`` so checking never perturbs simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import directory as dirfmt
+from repro.core.blocks import unpack_addrs
+from repro.core.checkpoint import read_checkpoint
+from repro.core.constants import INODE_SIZE, NULL_ADDR, ROOT_INUM
+from repro.core.errors import CorruptionError
+from repro.core.inode import Inode, addrs_per_indirect, unpack_inode_block
+from repro.core.inode_map import InodeMap
+from repro.core.seg_usage import SegmentUsageTable
+from repro.core.superblock import Superblock
+from repro.disk.device import Disk
+
+
+@dataclass
+class CheckReport:
+    """Outcome of an offline check."""
+
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    live_inodes: int = 0
+    live_blocks: int = 0
+    checkpoint_seq: int = 0
+
+    def error(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def render(self) -> str:
+        lines = [
+            f"lfsck: {'clean' if self.ok else 'CORRUPT'} "
+            f"(checkpoint {self.checkpoint_seq}, {self.live_inodes} inodes, "
+            f"{self.live_blocks} live blocks)"
+        ]
+        lines.extend(f"  error: {e}" for e in self.errors)
+        lines.extend(f"  warning: {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+class _PeekDisk:
+    """Read-only, time-free view over a disk image.
+
+    Also quacks enough like :class:`Disk` (``geometry``, ``read_block``,
+    ``read_blocks``) for the checkpoint reader to use it directly.
+    """
+
+    def __init__(self, disk: Disk) -> None:
+        self._disk = disk
+        self.geometry = disk.geometry
+
+    def read(self, addr: int) -> bytes:
+        return self._disk.peek(addr)
+
+    def read_block(self, addr: int) -> bytes:
+        return self._disk.peek(addr)
+
+    def read_blocks(self, addr: int, count: int) -> list[bytes]:
+        return [self._disk.peek(addr + i) for i in range(count)]
+
+
+def _load_inode(view: _PeekDisk, block_size: int, addr: int, inum: int) -> Inode | None:
+    try:
+        for candidate in unpack_inode_block(view.read(addr), block_size):
+            if candidate.inum == inum:
+                return candidate
+    except CorruptionError:
+        return None
+    return None
+
+
+def _file_blocks(view: _PeekDisk, block_size: int, inode: Inode) -> list[tuple[str, int]]:
+    """Every allocated (kind, addr) of a file, reading indirects via peek."""
+    out: list[tuple[str, int]] = []
+    per = addrs_per_indirect(block_size)
+    nblocks = inode.nblocks(block_size)
+    for fbn in range(min(nblocks, len(inode.direct))):
+        if inode.direct[fbn] != NULL_ADDR:
+            out.append(("data", inode.direct[fbn]))
+    if nblocks > len(inode.direct) and inode.indirect != NULL_ADDR:
+        out.append(("indirect", inode.indirect))
+        l1 = unpack_addrs(view.read(inode.indirect), per)
+        for slot in range(min(nblocks - len(inode.direct), per)):
+            if l1[slot] != NULL_ADDR:
+                out.append(("data", l1[slot]))
+    first_double = len(inode.direct) + per
+    if nblocks > first_double and inode.dindirect != NULL_ADDR:
+        out.append(("indirect", inode.dindirect))
+        l2 = unpack_addrs(view.read(inode.dindirect), per)
+        remaining = nblocks - first_double
+        for child_idx in range((remaining + per - 1) // per):
+            if l2[child_idx] == NULL_ADDR:
+                continue
+            out.append(("indirect", l2[child_idx]))
+            child = unpack_addrs(view.read(l2[child_idx]), per)
+            for slot in range(min(remaining - child_idx * per, per)):
+                if child[slot] != NULL_ADDR:
+                    out.append(("data", child[slot]))
+    return out
+
+
+def check_filesystem(disk: Disk) -> CheckReport:
+    """Verify an unmounted LFS disk image; returns a :class:`CheckReport`."""
+    report = CheckReport()
+    view = _PeekDisk(disk)
+
+    # 1. superblock
+    try:
+        sb = Superblock.from_bytes(view.read(0))
+    except CorruptionError as exc:
+        report.error(f"superblock: {exc}")
+        return report
+    layout = sb.layout()
+    bs = sb.block_size
+
+    # 2. checkpoint regions (peek-based: checking is time-free)
+    best = None
+    for region_b in (False, True):
+        try:
+            cp = read_checkpoint(view, layout, region_b=region_b)
+        except CorruptionError:
+            continue
+        if best is None or cp.seq > best.seq:
+            best = cp
+    if best is None:
+        report.error("no valid checkpoint region")
+        return report
+    report.checkpoint_seq = best.seq
+
+    # 3. inode map
+    imap = InodeMap(sb.max_inodes, bs // 32)
+    for idx, addr in enumerate(best.imap_addrs):
+        if addr != NULL_ADDR:
+            imap.load_block(idx, view.read(addr))
+    usage = SegmentUsageTable(layout.num_segments, sb.segment_bytes, bs // 24)
+    for idx, addr in enumerate(best.usage_addrs):
+        if addr != NULL_ADDR:
+            usage.load_block(idx, view.read(addr))
+
+    seg_lo = layout.segment_area_start
+    seg_hi = seg_lo + layout.num_segments * layout.segment_blocks
+
+    owners: dict[int, int] = {}  # block addr -> owning inum
+    inodes: dict[int, Inode] = {}
+    expected_live = [0] * layout.num_segments
+
+    def in_log(addr: int) -> bool:
+        return seg_lo <= addr < seg_hi
+
+    for inum in imap.allocated_inums():
+        entry = imap.get(inum)
+        if not in_log(entry.addr):
+            report.error(f"inode {inum}: map address {entry.addr} outside the log")
+            continue
+        inode = _load_inode(view, bs, entry.addr, inum)
+        if inode is None:
+            report.error(f"inode {inum}: not found in its inode block at {entry.addr}")
+            continue
+        if inode.version != entry.version:
+            report.error(
+                f"inode {inum}: version {inode.version} != map version {entry.version}"
+            )
+        inodes[inum] = inode
+        report.live_inodes += 1
+        expected_live[layout.segment_of(entry.addr)] += INODE_SIZE
+        for kind, addr in _file_blocks(view, bs, inode):
+            if not in_log(addr):
+                report.error(f"inode {inum}: {kind} block {addr} outside the log")
+                continue
+            if addr in owners:
+                report.error(
+                    f"block {addr} claimed by both inode {owners[addr]} and {inum}"
+                )
+            owners[addr] = inum
+            report.live_blocks += 1
+            expected_live[layout.segment_of(addr)] += bs
+
+    # 4. directory connectivity and link counts
+    entry_counts: dict[int, int] = {}
+    reachable: set[int] = set()
+
+    def walk(dir_inum: int) -> None:
+        if dir_inum in reachable:
+            report.error(f"directory cycle involving inode {dir_inum}")
+            return
+        reachable.add(dir_inum)
+        inode = inodes.get(dir_inum)
+        if inode is None:
+            return
+        addrs = [a for k, a in _file_blocks(view, bs, inode) if k == "data"]
+        for addr in addrs:
+            try:
+                entries = dirfmt.parse_block(view.read(addr))
+            except CorruptionError as exc:
+                report.error(f"directory {dir_inum}: bad block at {addr}: {exc}")
+                continue
+            for name, child in entries:
+                if child not in inodes:
+                    report.error(
+                        f"directory {dir_inum}: entry {name!r} -> dead inode {child}"
+                    )
+                    continue
+                entry_counts[child] = entry_counts.get(child, 0) + 1
+                if inodes[child].is_directory:
+                    walk(child)
+                else:
+                    reachable.add(child)
+
+    if ROOT_INUM in inodes:
+        walk(ROOT_INUM)
+    else:
+        report.error("root inode missing")
+
+    for inum, inode in inodes.items():
+        if inum == ROOT_INUM:
+            continue
+        if inum not in reachable:
+            report.error(f"inode {inum} is allocated but unreachable from the root")
+        refs = entry_counts.get(inum, 0)
+        if refs != inode.nlink:
+            report.error(
+                f"inode {inum}: link count {inode.nlink} but {refs} directory entries"
+            )
+
+    # 5. usage-table consistency (the map/table/log blocks themselves are
+    # live too, so the on-disk count may exceed the file-data estimate;
+    # it must never be lower).
+    for seg_no in range(layout.num_segments):
+        recorded = usage.get(seg_no).live_bytes
+        if recorded + bs < expected_live[seg_no]:
+            report.error(
+                f"segment {seg_no}: usage table records {recorded} live bytes "
+                f"but files own at least {expected_live[seg_no]}"
+            )
+    return report

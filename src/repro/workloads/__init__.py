@@ -1,0 +1,36 @@
+"""Benchmark workload generators for the paper's evaluation section.
+
+Each module drives the real file-system implementations (LFS and the FFS
+baseline) on the simulated disk and reports results in simulated time:
+
+- ``smallfile`` — Figure 8's 10000 x 1KB create/read/delete benchmark,
+  including the CPU-scaling prediction of Figure 8(b);
+- ``largefile`` — Figure 9's 100MB sequential/random phase benchmark;
+- ``production`` — Table 2 / Figure 10 synthetic production workloads;
+- ``recovery_bench`` — Table 3 crash-recovery timing grid.
+"""
+
+from repro.workloads.andrew import AndrewResult, run_andrew
+from repro.workloads.largefile import LargeFileResult, run_largefile
+from repro.workloads.production import ProductionConfig, ProductionResult, run_production
+from repro.workloads.recovery_bench import RecoveryCell, run_recovery_grid
+from repro.workloads.smallfile import SmallFileResult, run_smallfile
+from repro.workloads.trace import Trace, TraceOp, generate_office_trace, replay
+
+__all__ = [
+    "AndrewResult",
+    "LargeFileResult",
+    "ProductionConfig",
+    "ProductionResult",
+    "RecoveryCell",
+    "SmallFileResult",
+    "Trace",
+    "TraceOp",
+    "generate_office_trace",
+    "replay",
+    "run_andrew",
+    "run_largefile",
+    "run_production",
+    "run_recovery_grid",
+    "run_smallfile",
+]

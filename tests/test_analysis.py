@@ -1,0 +1,95 @@
+"""Tests for figure/table regeneration and ASCII rendering."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_histogram, render_series, render_table
+from repro.analysis.figures import (
+    fig01_create_layout,
+    fig03_writecost_formula,
+    fig04_greedy_simulation,
+    fig05_greedy_distributions,
+    fig06_costbenefit_distribution,
+    fig07_costbenefit_writecost,
+)
+from repro.simulator.writecost import FFS_IMPROVED_WRITE_COST
+
+
+class TestAsciiChart:
+    def test_series_renders(self):
+        out = render_series({"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]})
+        assert "a" in out and "b" in out and "|" in out
+
+    def test_empty_series(self):
+        assert render_series({}) == "(no data)"
+
+    def test_histogram_renders(self):
+        out = render_histogram([0.1, 0.1, 0.9], bins=10)
+        assert "#" in out
+        assert "samples" in out
+
+    def test_histogram_empty(self):
+        assert render_histogram([]) == "(no data)"
+
+    def test_table_renders(self):
+        out = render_table(["x", "longer header"], [[1, 2.5], ["ab", 3]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "longer header" in lines[1]
+
+
+class TestFig01:
+    def test_lfs_needs_order_of_magnitude_fewer_writes(self):
+        r = fig01_create_layout()
+        # paper: one large LFS write vs ten small FFS writes
+        assert r.ffs_write_ops >= 8
+        assert r.lfs_write_ops <= 3
+        assert "Sprite LFS" in r.render()
+
+
+class TestFig03:
+    def test_formula_curve(self):
+        r = fig03_writecost_formula()
+        xs = [u for u, _ in r.points]
+        ys = [c for _, c in r.points]
+        assert ys == sorted(ys)
+        assert min(xs) == 0.0
+        assert "Figure 3" in r.render()
+
+
+@pytest.fixture(scope="module")
+def fast_utils():
+    return (0.3, 0.6, 0.8)
+
+
+class TestSimulationFigures:
+    def test_fig04_shapes(self, fast_utils):
+        r = fig04_greedy_simulation(fast_utils, fast=True)
+        uniform = dict(r.curves["LFS uniform"])
+        hotcold = dict(r.curves["LFS hot-and-cold"])
+        # both grow with utilization
+        assert uniform[0.8] > uniform[0.3]
+        assert hotcold[0.8] > hotcold[0.3]
+        assert "Figure 4" in r.render()
+
+    def test_fig05_distributions(self):
+        r = fig05_greedy_distributions(0.7, fast=True)
+        assert set(r.distributions) == {"uniform", "hot-and-cold"}
+        assert all(r.distributions.values())
+        assert "Figure 5" in r.render()
+
+    def test_fig06_bimodal(self):
+        r = fig06_costbenefit_distribution(0.75, fast=True)
+        cb = r.distributions["LFS cost-benefit"]
+        # bimodal: mass both below 0.35 and above 0.75
+        low = sum(1 for u in cb if u < 0.35)
+        high = sum(1 for u in cb if u > 0.75)
+        assert low > 0 and high > 0
+        assert high > len(cb) * 0.25
+
+    def test_fig07_costbenefit_beats_greedy(self, fast_utils):
+        r = fig07_costbenefit_writecost((0.75,), fast=True)
+        greedy = dict(r.curves["LFS greedy"])[0.75]
+        costben = dict(r.curves["LFS cost-benefit"])[0.75]
+        assert costben < greedy
+        # the paper: LFS cost-benefit beats even an improved FFS at 75%
+        assert costben < FFS_IMPROVED_WRITE_COST * 1.2

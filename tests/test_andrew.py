@@ -1,0 +1,41 @@
+"""Tests for the Andrew-benchmark workload."""
+
+import pytest
+
+from repro.workloads.andrew import TREE, run_andrew
+
+
+class TestAndrew:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {"lfs": run_andrew("lfs"), "ffs": run_andrew("ffs")}
+
+    def test_all_phases_timed(self, results):
+        for r in results.values():
+            assert set(r.phase_times) == {"MakeDir", "Copy", "ScanDir", "ReadAll", "Make"}
+            assert all(t >= 0 for t in r.phase_times.values())
+            assert r.total == pytest.approx(sum(r.phase_times.values()), rel=0.01)
+
+    def test_modest_overall_speedup(self, results):
+        """Paper: 'only 20% faster' — far from Figure 8's 10x."""
+        speedup = results["ffs"].total / results["lfs"].total
+        assert 1.05 < speedup < 2.5
+
+    def test_cpu_bound_on_lfs(self, results):
+        assert results["lfs"].cpu_utilization > 0.8
+
+    def test_speedup_lives_in_metadata_phases(self, results):
+        """Copy (synchronous creates on FFS) shows the big win; the
+        CPU-bound Make phase shows almost none."""
+        lfs, ffs = results["lfs"], results["ffs"]
+        copy_speedup = ffs.phase_times["Copy"] / lfs.phase_times["Copy"]
+        make_speedup = ffs.phase_times["Make"] / lfs.phase_times["Make"]
+        assert copy_speedup > 2.0
+        assert make_speedup < 1.3
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_andrew("zfs")
+
+    def test_tree_definition_sane(self):
+        assert sum(count for count, _ in TREE) > 20

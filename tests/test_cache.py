@@ -1,0 +1,108 @@
+"""Tests for the write-back block cache."""
+
+import pytest
+
+from repro.core.cache import BlockCache
+from repro.core.errors import InvalidOperationError
+
+
+@pytest.fixture
+def cache():
+    return BlockCache(capacity_blocks=4)
+
+
+class TestBasics:
+    def test_miss_returns_none(self, cache):
+        assert cache.lookup(1, 0) is None
+        assert cache.misses == 1
+
+    def test_write_then_lookup(self, cache):
+        cache.write(1, 0, b"data", mtime=2.0)
+        entry = cache.lookup(1, 0)
+        assert entry.payload == b"data"
+        assert entry.dirty
+        assert entry.mtime == 2.0
+        assert cache.hits == 1
+
+    def test_insert_clean_not_dirty(self, cache):
+        cache.insert_clean(1, 0, b"x")
+        assert not cache.lookup(1, 0).dirty
+        assert cache.dirty_count == 0
+
+    def test_clean_read_cannot_clobber_dirty(self, cache):
+        cache.write(1, 0, b"new", mtime=0.0)
+        with pytest.raises(InvalidOperationError):
+            cache.insert_clean(1, 0, b"stale")
+
+    def test_mark_clean(self, cache):
+        cache.write(1, 0, b"d", mtime=0.0)
+        cache.mark_clean(1, 0)
+        assert cache.dirty_count == 0
+        assert cache.lookup(1, 0) is not None
+
+    def test_contains_does_not_count(self, cache):
+        cache.insert_clean(2, 3, b"x")
+        assert cache.contains(2, 3)
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestEviction:
+    def test_clean_lru_evicted(self, cache):
+        for fbn in range(4):
+            cache.insert_clean(1, fbn, b"x")
+        cache.lookup(1, 0)  # refresh block 0
+        cache.insert_clean(1, 4, b"y")  # evicts block 1 (LRU clean)
+        assert cache.contains(1, 0)
+        assert not cache.contains(1, 1)
+
+    def test_dirty_never_evicted(self, cache):
+        for fbn in range(4):
+            cache.write(1, fbn, b"d", mtime=0.0)
+        cache.insert_clean(1, 10, b"c")
+        # all four dirty blocks survive; the cache may exceed capacity
+        assert cache.dirty_count == 4
+        for fbn in range(4):
+            assert cache.contains(1, fbn)
+
+
+class TestDrop:
+    def test_drop_file(self, cache):
+        cache.write(1, 0, b"a", mtime=0.0)
+        cache.write(1, 1, b"b", mtime=0.0)
+        cache.write(2, 0, b"c", mtime=0.0)
+        cache.drop_file(1)
+        assert not cache.contains(1, 0)
+        assert cache.contains(2, 0)
+        assert cache.dirty_count == 1
+
+    def test_drop_from(self, cache):
+        for fbn in range(4):
+            cache.write(1, fbn, b"x", mtime=0.0)
+        cache.drop_from(1, 2)
+        assert cache.contains(1, 1)
+        assert not cache.contains(1, 3)
+
+    def test_clear_all(self, cache):
+        cache.write(1, 0, b"x", mtime=0.0)
+        cache.clear_all()
+        assert len(cache) == 0
+        assert cache.dirty_count == 0
+
+
+class TestDirtyEnumeration:
+    def test_sorted_by_key(self, cache):
+        cache.write(2, 1, b"c", mtime=0.0)
+        cache.write(1, 5, b"b", mtime=0.0)
+        cache.write(1, 0, b"a", mtime=0.0)
+        keys = [(i, f) for i, f, _ in cache.dirty_blocks()]
+        assert keys == [(1, 0), (1, 5), (2, 1)]
+
+    def test_hit_rate(self, cache):
+        cache.insert_clean(1, 0, b"x")
+        cache.lookup(1, 0)
+        cache.lookup(1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            BlockCache(0)

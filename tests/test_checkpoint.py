@@ -1,0 +1,138 @@
+"""Tests for superblock and checkpoint regions (torn-write semantics)."""
+
+import pytest
+
+from repro.core.checkpoint import (
+    Checkpoint,
+    read_checkpoint,
+    read_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.core.config import LFSConfig, compute_layout
+from repro.core.constants import NO_SEGMENT
+from repro.core.errors import CorruptionError
+from repro.core.superblock import Superblock
+from repro.disk.device import Disk
+from repro.disk.faults import DiskCrashed
+from repro.disk.geometry import DiskGeometry
+
+
+@pytest.fixture
+def env():
+    cfg = LFSConfig(max_inodes=1024, segment_bytes=128 * 1024)
+    disk = Disk(DiskGeometry.wren4(num_blocks=4096))
+    layout = compute_layout(cfg, 4096)
+    return cfg, disk, layout
+
+
+def make_cp(seq=1, ts=10.0):
+    return Checkpoint(
+        seq=seq,
+        timestamp=ts,
+        log_seq=55,
+        tail_segment=3,
+        tail_offset=17,
+        next_segment=4,
+        next_inum=9,
+        imap_addrs=[100, 101, 0, 103],
+        usage_addrs=[200],
+    )
+
+
+class TestSuperblock:
+    def test_roundtrip(self, env):
+        cfg, disk, layout = env
+        sb = Superblock.from_layout(cfg, layout)
+        got = Superblock.from_bytes(sb.to_bytes(cfg.block_size))
+        assert got == sb
+
+    def test_bad_magic(self):
+        with pytest.raises(CorruptionError):
+            Superblock.from_bytes(b"\0" * 4096)
+
+    def test_layout_reconstruction(self, env):
+        cfg, disk, layout = env
+        sb = Superblock.from_layout(cfg, layout)
+        lay2 = sb.layout()
+        assert lay2.segment_area_start == layout.segment_area_start
+        assert lay2.num_segments == layout.num_segments
+        assert lay2.segment_blocks == cfg.segment_blocks
+
+
+class TestCheckpointRoundtrip:
+    def test_write_read(self, env):
+        _, disk, layout = env
+        cp = make_cp()
+        write_checkpoint(disk, layout, cp, region_b=False)
+        got = read_checkpoint(disk, layout, region_b=False)
+        assert got == cp
+
+    def test_no_segment_sentinel(self, env):
+        _, disk, layout = env
+        cp = make_cp()
+        cp.next_segment = NO_SEGMENT
+        write_checkpoint(disk, layout, cp, region_b=True)
+        assert read_checkpoint(disk, layout, region_b=True).next_segment == NO_SEGMENT
+
+    def test_unused_region_raises(self, env):
+        _, disk, layout = env
+        with pytest.raises(CorruptionError):
+            read_checkpoint(disk, layout, region_b=True)
+
+    def test_latest_picks_higher_seq(self, env):
+        _, disk, layout = env
+        write_checkpoint(disk, layout, make_cp(seq=1, ts=1.0), region_b=False)
+        write_checkpoint(disk, layout, make_cp(seq=2, ts=2.0), region_b=True)
+        cp, was_b = read_latest_checkpoint(disk, layout)
+        assert cp.seq == 2 and was_b
+
+    def test_latest_with_one_valid_region(self, env):
+        _, disk, layout = env
+        write_checkpoint(disk, layout, make_cp(seq=5), region_b=True)
+        cp, was_b = read_latest_checkpoint(disk, layout)
+        assert cp.seq == 5 and was_b
+
+    def test_no_valid_region_raises(self, env):
+        _, disk, layout = env
+        with pytest.raises(CorruptionError):
+            read_latest_checkpoint(disk, layout)
+
+
+class TestTornCheckpoint:
+    def test_torn_write_self_invalidates(self, env):
+        """A crash mid-checkpoint leaves the region detectably torn."""
+        _, disk, layout = env
+        write_checkpoint(disk, layout, make_cp(seq=1), region_b=False)
+        # tear the next checkpoint: only the header block persists
+        disk.crash(after_writes=1)
+        with pytest.raises(DiskCrashed):
+            write_checkpoint(disk, layout, make_cp(seq=2), region_b=True)
+        disk.power_on()
+        with pytest.raises(CorruptionError):
+            read_checkpoint(disk, layout, region_b=True)
+        # reboot rule: the older complete checkpoint wins
+        cp, was_b = read_latest_checkpoint(disk, layout)
+        assert cp.seq == 1 and not was_b
+
+    def test_torn_overwrite_of_same_region(self, env):
+        """Rewriting a region and crashing keeps the region's OLD trailer
+        unmatched with the NEW header, so the region is rejected."""
+        _, disk, layout = env
+        write_checkpoint(disk, layout, make_cp(seq=1), region_b=False)
+        write_checkpoint(disk, layout, make_cp(seq=3), region_b=True)
+        disk.crash(after_writes=1)
+        with pytest.raises(DiskCrashed):
+            write_checkpoint(disk, layout, make_cp(seq=5), region_b=False)
+        disk.power_on()
+        cp, _ = read_latest_checkpoint(disk, layout)
+        assert cp.seq == 3
+
+    def test_complete_write_after_torn_recovers(self, env):
+        _, disk, layout = env
+        disk.crash(after_writes=1)
+        with pytest.raises(DiskCrashed):
+            write_checkpoint(disk, layout, make_cp(seq=1), region_b=False)
+        disk.power_on()
+        write_checkpoint(disk, layout, make_cp(seq=2), region_b=False)
+        cp, _ = read_latest_checkpoint(disk, layout)
+        assert cp.seq == 2

@@ -1,0 +1,113 @@
+"""Tests for the CLI and disk-image persistence."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.filesystem import LFS
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.image import load_disk, save_disk
+
+from tests.conftest import small_config
+
+
+class TestDiskImage:
+    def test_roundtrip_contents(self, tmp_path):
+        disk = Disk(DiskGeometry.wren4(num_blocks=2048))
+        disk.write_block(7, b"seven")
+        disk.write_block(1000, b"k")
+        path = str(tmp_path / "img")
+        n = save_disk(disk, path)
+        assert n == 2
+        loaded = load_disk(path)
+        assert loaded.peek(7).rstrip(b"\0") == b"seven"
+        assert loaded.peek(1000).rstrip(b"\0") == b"k"
+        assert loaded.peek(3) == bytes(4096)
+
+    def test_roundtrip_geometry_and_clock(self, tmp_path):
+        disk = Disk(DiskGeometry.modern_hdd(num_blocks=4096))
+        disk.write_block(0, b"x")
+        t = disk.clock.now
+        path = str(tmp_path / "img")
+        save_disk(disk, path)
+        loaded = load_disk(path)
+        assert loaded.geometry == disk.geometry
+        assert loaded.clock.now == pytest.approx(t)
+
+    def test_filesystem_survives_image_roundtrip(self, tmp_path):
+        disk = Disk(DiskGeometry.wren4(num_blocks=4096))
+        fs = LFS.format(disk, small_config())
+        fs.write_file("/persist", b"image data")
+        fs.unmount()
+        path = str(tmp_path / "fs.lfs")
+        save_disk(disk, path)
+        fs2 = LFS.mount(load_disk(path), small_config())
+        assert fs2.read("/persist") == b"image data"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        from repro.core.errors import CorruptionError
+
+        path = tmp_path / "junk"
+        path.write_bytes(b"\0" * 200)
+        with pytest.raises(CorruptionError):
+            load_disk(str(path))
+
+
+class TestCli:
+    @pytest.fixture
+    def image(self, tmp_path):
+        path = str(tmp_path / "t.lfs")
+        assert main(["mkfs", path, "--size-mb", "32"]) == 0
+        return path
+
+    def test_mkfs_ls(self, image, capsys):
+        assert main(["ls", image]) == 0
+
+    def test_put_get_roundtrip(self, image, tmp_path, capsys):
+        src = tmp_path / "in.txt"
+        src.write_bytes(b"cli payload" * 100)
+        assert main(["put", image, str(src), "/file.txt"]) == 0
+        out = tmp_path / "out.txt"
+        assert main(["get", image, "/file.txt", str(out)]) == 0
+        assert out.read_bytes() == src.read_bytes()
+
+    def test_mkdir_and_ls(self, image, capsys):
+        assert main(["mkdir", image, "/sub"]) == 0
+        main(["ls", image])
+        assert "sub" in capsys.readouterr().out
+
+    def test_rm(self, image, tmp_path, capsys):
+        src = tmp_path / "x"
+        src.write_bytes(b"bye")
+        main(["put", image, str(src), "/x"])
+        assert main(["rm", image, "/x"]) == 0
+        main(["ls", image])
+        names = [line.split()[-1] for line in capsys.readouterr().out.splitlines() if line]
+        assert "x" not in names
+
+    def test_fsck_clean(self, image, capsys):
+        assert main(["fsck", image]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_stats(self, image, capsys):
+        assert main(["stats", image]) == 0
+        out = capsys.readouterr().out
+        assert "write cost" in out and "clean segments" in out
+
+    def test_dump(self, image, capsys):
+        assert main(["dump", image]) == 0
+        out = capsys.readouterr().out
+        assert "superblock" in out and "checkpoint" in out
+        assert main(["dump", image, "--segment", "0"]) == 0
+
+    def test_state_survives_across_invocations(self, image, tmp_path):
+        src = tmp_path / "a"
+        src.write_bytes(b"first")
+        main(["put", image, str(src), "/a"])
+        src.write_bytes(b"second version")
+        main(["put", image, str(src), "/b"])
+        out = tmp_path / "got"
+        main(["get", image, "/a", str(out)])
+        assert out.read_bytes() == b"first"
+        main(["get", image, "/b", str(out)])
+        assert out.read_bytes() == b"second version"

@@ -1,0 +1,77 @@
+"""Tests for the directory block format."""
+
+import pytest
+
+from repro.core import directory as d
+from repro.core.errors import CorruptionError, InvalidOperationError
+
+
+class TestNames:
+    def test_validate_ok(self):
+        assert d.validate_name("hello.txt") == b"hello.txt"
+
+    @pytest.mark.parametrize("bad", ["", ".", "..", "a/b", "a\0b"])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(InvalidOperationError):
+            d.validate_name(bad)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            d.validate_name("x" * 256)
+
+    def test_utf8_names(self):
+        assert d.validate_name("日本語") == "日本語".encode("utf-8")
+
+    def test_entry_size_counts_encoded_bytes(self):
+        assert d.entry_size("ab") == 10 + 2
+        assert d.entry_size("é") == 10 + 2
+
+
+class TestPackParse:
+    def test_roundtrip(self):
+        entries = [("a", 1), ("bb", 2), ("ccc", 3)]
+        payload = d.pack_block(entries, 4096)
+        assert d.parse_block(payload) == entries
+
+    def test_block_is_padded(self):
+        assert len(d.pack_block([("x", 1)], 4096)) == 4096
+
+    def test_empty_block(self):
+        assert d.parse_block(d.pack_block([], 4096)) == []
+
+    def test_overflow_rejected(self):
+        entries = [(f"name{i:04}", i) for i in range(400)]
+        with pytest.raises(InvalidOperationError):
+            d.pack_block(entries, 4096)
+
+    def test_unicode_roundtrip(self):
+        entries = [("ファイル", 9)]
+        assert d.parse_block(d.pack_block(entries, 4096)) == entries
+
+    def test_corrupt_overrun_raises(self):
+        import struct
+
+        raw = struct.pack("<QH", 1, 500) + b"short"
+        with pytest.raises(CorruptionError):
+            d.parse_block(raw)
+
+    def test_parse_stops_at_zero_namelen(self):
+        payload = d.pack_block([("a", 1)], 4096)
+        assert len(d.parse_block(payload)) == 1
+
+
+class TestRoomAccounting:
+    def test_block_has_room(self):
+        entries = [("a", 1)]
+        assert d.block_has_room(entries, "b", 4096)
+
+    def test_block_full(self):
+        entries = [(f"n{i:06}", i) for i in range(200)]
+        used = d.block_used_bytes(entries)
+        free = 4096 - used
+        long_name = "x" * (free + 1)
+        # the long name cannot fit even though short ones can
+        assert not d.block_has_room(entries, long_name[:250], 4096) or free > 260
+
+    def test_used_bytes(self):
+        assert d.block_used_bytes([("ab", 1), ("c", 2)]) == (10 + 2) + (10 + 1)

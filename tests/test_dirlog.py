@@ -1,0 +1,76 @@
+"""Tests for the directory operation log format."""
+
+import pytest
+
+from repro.core.constants import DirOp
+from repro.core.dirlog import DirOpRecord, pack_records, unpack_block
+from repro.core.errors import CorruptionError
+
+
+def rec(**kw):
+    defaults = dict(op=DirOp.CREATE, file_inum=5, refcount=1, dir1=1, name1="f")
+    defaults.update(kw)
+    return DirOpRecord(**defaults)
+
+
+class TestRecordRoundtrip:
+    def test_create(self):
+        r = rec()
+        got, end = DirOpRecord.unpack_from(r.pack(), 0)
+        assert got == r
+        assert end == len(r.pack())
+
+    def test_rename_carries_both_names(self):
+        r = rec(op=DirOp.RENAME, dir2=3, name2="new name")
+        got, _ = DirOpRecord.unpack_from(r.pack(), 0)
+        assert got.name1 == "f" and got.name2 == "new name" and got.dir2 == 3
+
+    def test_negative_refcount(self):
+        r = rec(op=DirOp.UNLINK, refcount=0)
+        got, _ = DirOpRecord.unpack_from(r.pack(), 0)
+        assert got.refcount == 0
+
+    def test_unicode_names(self):
+        r = rec(name1="日本語ファイル")
+        got, _ = DirOpRecord.unpack_from(r.pack(), 0)
+        assert got.name1 == "日本語ファイル"
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            DirOpRecord.unpack_from(b"\x01\x00", 0)
+
+    def test_bad_opcode_raises(self):
+        raw = bytearray(rec().pack())
+        raw[0] = 99
+        with pytest.raises(CorruptionError):
+            DirOpRecord.unpack_from(bytes(raw), 0)
+
+
+class TestBlockPacking:
+    def test_roundtrip_many(self):
+        records = [rec(file_inum=i, name1=f"file{i}") for i in range(1, 50)]
+        blocks = pack_records(records, 4096)
+        got = []
+        for b in blocks:
+            got.extend(unpack_block(b))
+        assert got == records
+
+    def test_spills_to_multiple_blocks(self):
+        records = [rec(name1="n" * 200, file_inum=i) for i in range(1, 40)]
+        blocks = pack_records(records, 1024)
+        assert len(blocks) > 1
+        got = []
+        for b in blocks:
+            got.extend(unpack_block(b))
+        assert got == records
+
+    def test_empty_records(self):
+        assert pack_records([], 4096) == []
+
+    def test_blocks_are_padded(self):
+        blocks = pack_records([rec()], 4096)
+        assert all(len(b) == 4096 for b in blocks)
+
+    def test_truncated_block_raises(self):
+        with pytest.raises(CorruptionError):
+            unpack_block(b"\x01")

@@ -1,0 +1,158 @@
+"""Tests for the simulated block device."""
+
+import pytest
+
+from repro.core.errors import DiskRangeError
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+
+
+@pytest.fixture
+def disk():
+    return Disk(DiskGeometry.wren4(num_blocks=1024))
+
+
+class TestReadWrite:
+    def test_roundtrip(self, disk):
+        disk.write_block(5, b"hello")
+        assert disk.read_block(5).rstrip(b"\0") == b"hello"
+
+    def test_unwritten_block_reads_zero(self, disk):
+        assert disk.read_block(7) == bytes(4096)
+
+    def test_short_payload_padded(self, disk):
+        disk.write_block(1, b"x")
+        assert len(disk.read_block(1)) == 4096
+
+    def test_oversized_payload_rejected(self, disk):
+        with pytest.raises(DiskRangeError):
+            disk.write_block(1, b"x" * 5000)
+
+    def test_out_of_range_read(self, disk):
+        with pytest.raises(DiskRangeError):
+            disk.read_block(1024)
+
+    def test_out_of_range_write(self, disk):
+        with pytest.raises(DiskRangeError):
+            disk.write_block(-1, b"")
+
+    def test_multiblock_roundtrip(self, disk):
+        disk.write_blocks(10, [b"a" * 4096, b"b" * 4096, b"c" * 4096])
+        got = disk.read_blocks(10, 3)
+        assert got[0][0:1] == b"a" and got[2][0:1] == b"c"
+
+    def test_multiblock_range_check(self, disk):
+        with pytest.raises(DiskRangeError):
+            disk.write_blocks(1023, [b"a", b"b"])
+
+    def test_empty_multiblock_write_rejected(self, disk):
+        with pytest.raises(DiskRangeError):
+            disk.write_blocks(0, [])
+
+    def test_peek_does_not_advance_clock(self, disk):
+        disk.write_block(3, b"z")
+        t = disk.clock.now
+        disk.peek(3)
+        assert disk.clock.now == t
+
+
+class TestTimeAccounting:
+    def test_clock_advances_on_io(self, disk):
+        t0 = disk.clock.now
+        disk.write_block(0, b"x")
+        assert disk.clock.now > t0
+
+    def test_sequential_writes_stream(self, disk):
+        disk.write_block(0, b"x")
+        t0 = disk.clock.now
+        disk.write_block(1, b"x")  # head is at block 1 already
+        seq_cost = disk.clock.now - t0
+        assert seq_cost == pytest.approx(4096 / disk.geometry.transfer_bandwidth)
+
+    def test_random_write_costs_more_than_sequential(self, disk):
+        disk.write_block(0, b"x")
+        t0 = disk.clock.now
+        disk.write_block(512, b"x")
+        rand_cost = disk.clock.now - t0
+        assert rand_cost > 2 * (4096 / disk.geometry.transfer_bandwidth)
+
+    def test_large_write_amortizes_seek(self, disk):
+        blocks = [b"y" * 4096] * 64
+        disk.write_block(512, b"seed")  # park the head far away
+        t0 = disk.clock.now
+        disk.write_blocks(0, blocks)
+        one_big = disk.clock.now - t0
+
+        disk2 = Disk(DiskGeometry.wren4(num_blocks=1024))
+        disk2.write_block(512, b"seed")
+        t0 = disk2.clock.now
+        for i, b in enumerate(blocks):
+            disk2.write_block(i, b, force_latency=True)
+        many_small = disk2.clock.now - t0
+        assert one_big < many_small / 3
+
+    def test_force_latency_charges_rotation_when_adjacent(self, disk):
+        disk.write_block(0, b"x")
+        t0 = disk.clock.now
+        disk.write_block(1, b"x", force_latency=True)
+        cost = disk.clock.now - t0
+        assert cost >= disk.geometry.rotation_time / 2
+
+    def test_stats_counters(self, disk):
+        disk.write_blocks(0, [b"a"] * 4)
+        disk.read_block(0)
+        assert disk.stats.writes == 1
+        assert disk.stats.blocks_written == 4
+        assert disk.stats.reads == 1
+        assert disk.stats.bytes_written == 4 * 4096
+
+    def test_busy_time_equals_clock_delta_for_pure_io(self, disk):
+        disk.write_blocks(0, [b"a"] * 8)
+        disk.read_blocks(0, 8)
+        assert disk.stats.busy_time == pytest.approx(disk.clock.now)
+
+    def test_reset_stats(self, disk):
+        disk.write_block(0, b"a")
+        old = disk.reset_stats()
+        assert old.writes == 1
+        assert disk.stats.writes == 0
+
+
+class TestCrashSemantics:
+    def test_crash_blocks_io(self, disk):
+        from repro.disk.faults import DiskCrashed
+
+        disk.crash()
+        with pytest.raises(DiskCrashed):
+            disk.read_block(0)
+        with pytest.raises(DiskCrashed):
+            disk.write_block(0, b"x")
+
+    def test_power_on_restores_contents(self, disk):
+        disk.write_block(9, b"persist")
+        disk.crash()
+        disk.power_on()
+        assert disk.read_block(9).rstrip(b"\0") == b"persist"
+
+    def test_armed_crash_allows_exact_count(self, disk):
+        from repro.disk.faults import DiskCrashed
+
+        disk.crash(after_writes=2)
+        disk.write_block(0, b"a")
+        disk.write_block(1, b"b")
+        with pytest.raises(DiskCrashed):
+            disk.write_block(2, b"c")
+        disk.power_on()
+        assert disk.read_block(1).rstrip(b"\0") == b"b"
+        assert disk.read_block(2) == bytes(4096)
+
+    def test_multiblock_write_persists_prefix_on_crash(self, disk):
+        from repro.disk.faults import DiskCrashed
+
+        disk.crash(after_writes=2)
+        with pytest.raises(DiskCrashed):
+            disk.write_blocks(0, [b"a", b"b", b"c", b"d"])
+        disk.power_on()
+        assert disk.read_block(0).rstrip(b"\0") == b"a"
+        assert disk.read_block(1).rstrip(b"\0") == b"b"
+        assert disk.read_block(2) == bytes(4096)

@@ -1,0 +1,105 @@
+"""Tests for the disk service-time model."""
+
+import pytest
+
+from repro.disk.geometry import CpuModel, DiskGeometry
+
+
+class TestGeometryValidation:
+    def test_rejects_zero_block_size(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(block_size=0)
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(num_blocks=0)
+
+    def test_rejects_negative_seek(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(avg_seek_time=-1.0)
+
+    def test_rejects_min_seek_above_avg(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(min_seek_time=0.5, avg_seek_time=0.1)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(transfer_bandwidth=0)
+
+
+class TestServiceTimes:
+    def test_sequential_access_pays_transfer_only(self):
+        geo = DiskGeometry.wren4()
+        t = geo.access_time(100, 100, 4096)
+        assert t == pytest.approx(4096 / geo.transfer_bandwidth)
+
+    def test_nonsequential_access_pays_positioning(self):
+        geo = DiskGeometry.wren4()
+        seq = geo.access_time(100, 100, 4096)
+        far = geo.access_time(100, 50000, 4096)
+        assert far > seq + geo.rotation_time / 2
+
+    def test_short_seek_costs_minimum(self):
+        geo = DiskGeometry.wren4()
+        assert geo.seek_time(100, 101) == geo.min_seek_time
+
+    def test_zero_distance_seek_is_free(self):
+        geo = DiskGeometry.wren4()
+        assert geo.seek_time(100, 100) == 0.0
+
+    def test_long_seek_bounded_by_profile(self):
+        geo = DiskGeometry.wren4()
+        longest = geo.seek_time(0, geo.num_blocks - 1)
+        assert geo.min_seek_time < longest
+        # full-stroke seek reaches (at least) the average seek time
+        assert longest >= geo.avg_seek_time * 0.99
+
+    def test_seek_monotonic_in_distance(self):
+        geo = DiskGeometry.wren4()
+        times = [geo.seek_time(0, d) for d in (64, 1024, 10000, 70000)]
+        assert times == sorted(times)
+
+    def test_transfer_time_scales_linearly(self):
+        geo = DiskGeometry.wren4()
+        assert geo.transfer_time(8192) == pytest.approx(2 * geo.transfer_time(4096))
+
+    def test_transfer_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiskGeometry.wren4().transfer_time(-1)
+
+    def test_wren4_matches_paper_parameters(self):
+        geo = DiskGeometry.wren4()
+        assert geo.transfer_bandwidth == pytest.approx(1.3e6)
+        assert geo.avg_seek_time == pytest.approx(0.0175)
+
+    def test_capacity_bytes(self):
+        geo = DiskGeometry.wren4(num_blocks=1000, block_size=4096)
+        assert geo.capacity_bytes == 4096000
+
+    def test_modern_hdd_is_faster(self):
+        old = DiskGeometry.wren4()
+        new = DiskGeometry.modern_hdd()
+        assert new.transfer_bandwidth > old.transfer_bandwidth
+        assert new.avg_seek_time < old.avg_seek_time
+
+
+class TestCpuModel:
+    def test_charge_accumulates(self):
+        cpu = CpuModel(seconds_per_op=0.01)
+        cpu.charge()
+        cpu.charge(3)
+        assert cpu.cpu_time == pytest.approx(0.04)
+
+    def test_speedup_divides_time(self):
+        cpu = CpuModel(seconds_per_op=0.01, speedup=2.0)
+        assert cpu.charge() == pytest.approx(0.005)
+
+    def test_reset(self):
+        cpu = CpuModel()
+        cpu.charge(5)
+        cpu.reset()
+        assert cpu.cpu_time == 0.0
+
+    def test_rejects_negative_ops(self):
+        with pytest.raises(ValueError):
+            CpuModel().charge(-1)

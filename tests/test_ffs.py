@@ -1,0 +1,194 @@
+"""Tests for the FFS baseline file system."""
+
+import pytest
+
+from repro.core.errors import (
+    DirectoryNotEmptyError,
+    FileExistsLFSError,
+    FileNotFoundLFSError,
+    InvalidOperationError,
+    NoSpaceError,
+)
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.ffs.allocator import BitmapAllocator, InodeAllocator
+from repro.ffs.filesystem import FFS, FFSConfig
+from repro.ffs.layout import compute_ffs_layout
+
+
+def make_ffs(num_blocks=4096, **cfg):
+    defaults = dict(block_size=8192, max_inodes=2048, num_groups=8)
+    defaults.update(cfg)
+    config = FFSConfig(**defaults)
+    disk = Disk(DiskGeometry.wren4(block_size=config.block_size, num_blocks=num_blocks))
+    return FFS.format(disk, config), disk
+
+
+@pytest.fixture
+def ffs():
+    return make_ffs()[0]
+
+
+class TestLayout:
+    def test_inode_addr_within_group_table(self):
+        lay = compute_ffs_layout(8192, 4096, max_inodes=2048, num_groups=8)
+        for inum in (1, 9, 100, 2047):
+            block, slot = lay.inode_addr(inum)
+            group = lay.group_for_inode(inum)
+            assert lay.group_start(group) <= block < lay.group_data_start(group)
+            assert 0 <= slot < lay.inodes_per_block
+
+    def test_inode_addrs_unique(self):
+        lay = compute_ffs_layout(8192, 4096, max_inodes=512, num_groups=8)
+        seen = set()
+        for inum in range(1, 512):
+            addr = lay.inode_addr(inum)
+            assert addr not in seen
+            seen.add(addr)
+
+    def test_data_block_iteration_skips_tables(self):
+        lay = compute_ffs_layout(8192, 4096, max_inodes=2048, num_groups=8)
+        for addr in list(lay.data_block_iter_from(1))[:500]:
+            assert lay.is_data_block(addr)
+
+    def test_out_of_range_inode(self):
+        lay = compute_ffs_layout(8192, 4096, max_inodes=64, num_groups=4)
+        with pytest.raises(InvalidOperationError):
+            lay.inode_addr(64)
+
+
+class TestAllocators:
+    def test_near_goal_allocation_contiguous(self):
+        lay = compute_ffs_layout(8192, 4096, max_inodes=512, num_groups=8)
+        alloc = BitmapAllocator(lay)
+        first = alloc.allocate_near(lay.group_data_start(0))
+        second = alloc.allocate_near(first + 1)
+        assert second == first + 1
+
+    def test_free_and_reuse(self):
+        lay = compute_ffs_layout(8192, 4096, max_inodes=512, num_groups=8)
+        alloc = BitmapAllocator(lay)
+        a = alloc.allocate_near(lay.group_data_start(0))
+        alloc.free(a)
+        assert alloc.allocate_near(a) == a
+
+    def test_double_free_rejected(self):
+        lay = compute_ffs_layout(8192, 4096, max_inodes=512, num_groups=8)
+        alloc = BitmapAllocator(lay)
+        a = alloc.allocate_near(lay.group_data_start(0))
+        alloc.free(a)
+        with pytest.raises(InvalidOperationError):
+            alloc.free(a)
+
+    def test_exhaustion(self):
+        lay = compute_ffs_layout(8192, 80, max_inodes=64, num_groups=2)
+        alloc = BitmapAllocator(lay)
+        for _ in range(lay.data_blocks):
+            alloc.allocate_near(1)
+        with pytest.raises(NoSpaceError):
+            alloc.allocate_near(1)
+
+    def test_inode_allocator_group_preference(self):
+        alloc = InodeAllocator(256, num_groups=8)
+        inum = alloc.allocate(group=3)
+        assert inum % 8 == 3
+
+    def test_inode_allocator_spills(self):
+        alloc = InodeAllocator(16, num_groups=8)
+        got = [alloc.allocate(group=1) for _ in range(2)]
+        assert all(i % 8 == 1 for i in got)
+        third = alloc.allocate(group=1)  # group 1 exhausted, spills
+        assert third not in got
+
+
+class TestOperations:
+    def test_roundtrip(self, ffs):
+        ffs.write_file("/f", b"ffs data")
+        assert ffs.read("/f") == b"ffs data"
+
+    def test_directories(self, ffs):
+        ffs.mkdir("/d")
+        ffs.write_file("/d/a", b"1")
+        ffs.write_file("/d/b", b"2")
+        assert ffs.readdir("/d") == ["a", "b"]
+
+    def test_duplicate_create_rejected(self, ffs):
+        ffs.create("/x")
+        with pytest.raises(FileExistsLFSError):
+            ffs.create("/x")
+
+    def test_unlink(self, ffs):
+        ffs.write_file("/f", b"x" * 50000)
+        ffs.sync()
+        used = ffs.allocator.used_blocks
+        ffs.unlink("/f")
+        assert not ffs.exists("/f")
+        assert ffs.allocator.used_blocks < used
+
+    def test_unlink_nonempty_dir_rejected(self, ffs):
+        ffs.mkdir("/d")
+        ffs.write_file("/d/f", b"")
+        with pytest.raises(DirectoryNotEmptyError):
+            ffs.unlink("/d")
+
+    def test_truncate(self, ffs):
+        ffs.write_file("/f", b"0123456789" * 2000)
+        ffs.truncate("/f", 7)
+        assert ffs.read("/f") == b"0123456"
+
+    def test_missing_file(self, ffs):
+        with pytest.raises(FileNotFoundLFSError):
+            ffs.read("/ghost")
+
+    def test_large_file_indirect(self, ffs):
+        data = b"L" * (200 * 1024)  # 25 blocks > 10 direct
+        ffs.write_file("/big", data)
+        ffs.sync()
+        assert ffs.read("/big") == data
+
+    def test_overwrite_in_place_no_new_blocks(self, ffs):
+        ffs.write_file("/f", b"a" * 50000)
+        ffs.sync()
+        used = ffs.allocator.used_blocks
+        ffs.write("/f", b"b" * 50000, offset=0)
+        ffs.sync()
+        assert ffs.allocator.used_blocks == used  # FFS overwrites in place
+
+
+class TestIOPatterns:
+    def test_create_is_synchronous_metadata(self, ffs):
+        writes_before = ffs.disk.stats.writes
+        ffs.create("/newfile")
+        # inode twice + directory block + directory inode = 4 sync writes
+        assert ffs.disk.stats.writes - writes_before >= 4
+
+    def test_create_costs_dominated_by_metadata(self):
+        """The paper: <5% of write traffic is data for small files."""
+        ffs, disk = make_ffs()
+        t0 = disk.clock.now
+        for i in range(50):
+            ffs.write_file(f"/f{i}", b"k" * 1024)
+        ffs.sync()
+        elapsed = disk.clock.now - t0
+        data_time = 50 * 8192 / disk.geometry.transfer_bandwidth
+        assert data_time / elapsed < 0.15
+
+    def test_sequential_layout_gives_fast_reads(self):
+        ffs, disk = make_ffs(num_blocks=8192)
+        data = b"s" * (2 * 1024 * 1024)
+        ffs.write_file("/seq", data)
+        ffs.sync()
+        ffs.cache.clear_all()
+        t0 = disk.clock.now
+        assert ffs.read("/seq") == data
+        elapsed = disk.clock.now - t0
+        bw = len(data) / elapsed
+        assert bw > 0.5 * disk.geometry.transfer_bandwidth
+
+    def test_fsck_scans_inode_tables(self, ffs):
+        ffs.write_file("/f", b"x" * 100000)
+        ffs.sync()
+        reads_before = ffs.disk.stats.blocks_read
+        elapsed = ffs.fsck()
+        assert elapsed > 0
+        assert ffs.disk.stats.blocks_read - reads_before >= ffs.layout.itab_blocks * ffs.layout.num_groups

@@ -1,0 +1,286 @@
+"""Tests for the core LFS file operations."""
+
+import pytest
+
+from repro.core.constants import ROOT_INUM, FileType
+from repro.core.errors import (
+    DirectoryNotEmptyError,
+    FileExistsLFSError,
+    FileNotFoundLFSError,
+    InvalidOperationError,
+    IsADirectoryError_,
+    NotADirectoryError_,
+    NotMountedError,
+)
+
+
+class TestCreateReadWrite:
+    def test_write_read_roundtrip(self, fs):
+        fs.write_file("/a", b"hello world")
+        assert fs.read("/a") == b"hello world"
+
+    def test_empty_file(self, fs):
+        fs.create("/empty")
+        assert fs.read("/empty") == b""
+        assert fs.stat("/empty").size == 0
+
+    def test_create_duplicate_rejected(self, fs):
+        fs.create("/a")
+        with pytest.raises(FileExistsLFSError):
+            fs.create("/a")
+
+    def test_multi_block_file(self, fs):
+        data = bytes(range(256)) * 64  # 16 KB
+        fs.write_file("/big", data)
+        assert fs.read("/big") == data
+
+    def test_overwrite_middle(self, fs):
+        fs.write_file("/f", b"a" * 10000)
+        fs.write("/f", b"XYZ", offset=5000)
+        got = fs.read("/f")
+        assert got[5000:5003] == b"XYZ"
+        assert got[:5000] == b"a" * 5000
+        assert len(got) == 10000
+
+    def test_append(self, fs):
+        fs.write_file("/f", b"head")
+        fs.append("/f", b"+tail")
+        assert fs.read("/f") == b"head+tail"
+
+    def test_partial_read(self, fs):
+        fs.write_file("/f", b"0123456789")
+        assert fs.read("/f", offset=3, length=4) == b"3456"
+
+    def test_read_past_eof(self, fs):
+        fs.write_file("/f", b"short")
+        assert fs.read("/f", offset=100) == b""
+        assert fs.read("/f", offset=3, length=100) == b"rt"
+
+    def test_sparse_write_reads_zeros(self, fs):
+        inum = fs.create("/sparse")
+        fs.write_inum(inum, b"end", 20000)
+        got = fs.read("/sparse")
+        assert len(got) == 20003
+        assert got[:20000] == bytes(20000)
+        assert got[20000:] == b"end"
+
+    def test_write_file_replaces_content(self, fs):
+        fs.write_file("/f", b"old content that is long")
+        fs.write_file("/f", b"new")
+        assert fs.read("/f") == b"new"
+
+    def test_negative_offset_rejected(self, fs):
+        fs.create("/f")
+        with pytest.raises(InvalidOperationError):
+            fs.write("/f", b"x", offset=-1)
+
+    def test_write_to_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        inum = fs.stat("/d").inum
+        with pytest.raises(IsADirectoryError_):
+            fs.write_inum(inum, b"x")
+
+    def test_stat_fields(self, fs):
+        fs.write_file("/f", b"12345")
+        st = fs.stat("/f")
+        assert st.size == 5
+        assert st.nlink == 1
+        assert st.ftype == FileType.REGULAR
+        assert not st.is_directory
+
+
+class TestDirectories:
+    def test_mkdir_and_readdir(self, fs):
+        fs.mkdir("/d")
+        fs.write_file("/d/x", b"1")
+        fs.write_file("/d/y", b"2")
+        assert fs.readdir("/d") == ["x", "y"]
+
+    def test_nested_directories(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.mkdir("/a/b/c")
+        fs.write_file("/a/b/c/deep", b"down here")
+        assert fs.read("/a/b/c/deep") == b"down here"
+
+    def test_root_listing(self, fs):
+        fs.write_file("/one", b"")
+        fs.mkdir("/two")
+        assert fs.readdir("/") == ["one", "two"]
+
+    def test_readdir_file_rejected(self, fs):
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectoryError_):
+            fs.readdir("/f")
+
+    def test_lookup_through_file_rejected(self, fs):
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectoryError_):
+            fs.read("/f/child")
+
+    def test_missing_component(self, fs):
+        with pytest.raises(FileNotFoundLFSError):
+            fs.read("/no/such/path")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(InvalidOperationError):
+            fs.create("relative")
+
+    def test_many_entries_one_directory(self, fs):
+        for i in range(300):
+            fs.create(f"/f{i:03}")
+        assert len(fs.readdir("/")) == 300
+        assert fs.exists("/f123")
+
+    def test_exists(self, fs):
+        assert not fs.exists("/nope")
+        fs.create("/yes")
+        assert fs.exists("/yes")
+        assert fs.exists("/")
+
+
+class TestDelete:
+    def test_unlink_removes(self, fs):
+        fs.write_file("/f", b"bye")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        with pytest.raises(FileNotFoundLFSError):
+            fs.read("/f")
+
+    def test_unlink_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundLFSError):
+            fs.unlink("/ghost")
+
+    def test_rmdir_empty(self, fs):
+        fs.mkdir("/d")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_rmdir_nonempty_rejected(self, fs):
+        fs.mkdir("/d")
+        fs.write_file("/d/f", b"x")
+        with pytest.raises(DirectoryNotEmptyError):
+            fs.rmdir("/d")
+
+    def test_rmdir_on_file_rejected(self, fs):
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectoryError_):
+            fs.rmdir("/f")
+
+    def test_delete_frees_space(self, fs):
+        fs.write_file("/f", b"x" * 100000)
+        fs.sync()
+        live_before = fs.usage.total_live_bytes()
+        fs.unlink("/f")
+        assert fs.usage.total_live_bytes() < live_before - 90000
+
+    def test_inum_reuse_bumps_version(self, fs):
+        fs.write_file("/a", b"first")
+        v1 = fs.stat("/a").version
+        inum1 = fs.stat("/a").inum
+        fs.unlink("/a")
+        fs.write_file("/b", b"second")
+        # if the inum got reused, the uid (version) must differ
+        if fs.stat("/b").inum == inum1:
+            assert fs.stat("/b").version > v1
+
+
+class TestTruncate:
+    def test_truncate_to_zero(self, fs):
+        fs.write_file("/f", b"data" * 100)
+        fs.truncate("/f", 0)
+        assert fs.read("/f") == b""
+        assert fs.stat("/f").size == 0
+
+    def test_truncate_bumps_version(self, fs):
+        fs.write_file("/f", b"data")
+        v0 = fs.stat("/f").version
+        fs.truncate("/f", 0)
+        assert fs.stat("/f").version == v0 + 1
+
+    def test_partial_truncate(self, fs):
+        fs.write_file("/f", b"0123456789" * 1000)
+        fs.truncate("/f", 5)
+        assert fs.read("/f") == b"01234"
+
+    def test_truncate_grow_rejected(self, fs):
+        fs.write_file("/f", b"abc")
+        with pytest.raises(InvalidOperationError):
+            fs.truncate("/f", 10)
+
+    def test_truncate_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryError_):
+            fs.truncate("/d", 0)
+
+
+class TestRenameAndLink:
+    def test_rename_same_dir(self, fs):
+        fs.write_file("/old", b"content")
+        fs.rename("/old", "/new")
+        assert not fs.exists("/old")
+        assert fs.read("/new") == b"content"
+
+    def test_rename_across_dirs(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.write_file("/a/f", b"x")
+        fs.rename("/a/f", "/b/g")
+        assert fs.read("/b/g") == b"x"
+        assert fs.readdir("/a") == []
+
+    def test_rename_replaces_target(self, fs):
+        fs.write_file("/src", b"src")
+        fs.write_file("/dst", b"dst")
+        fs.rename("/src", "/dst")
+        assert fs.read("/dst") == b"src"
+        assert not fs.exists("/src")
+
+    def test_rename_onto_nonempty_dir_rejected(self, fs):
+        fs.write_file("/f", b"")
+        fs.mkdir("/d")
+        fs.write_file("/d/x", b"")
+        with pytest.raises(DirectoryNotEmptyError):
+            fs.rename("/f", "/d")
+
+    def test_rename_missing_source(self, fs):
+        with pytest.raises(FileNotFoundLFSError):
+            fs.rename("/ghost", "/new")
+
+    def test_rename_directory(self, fs):
+        fs.mkdir("/d")
+        fs.write_file("/d/f", b"inside")
+        fs.rename("/d", "/e")
+        assert fs.read("/e/f") == b"inside"
+
+    def test_link_shares_content(self, fs):
+        fs.write_file("/a", b"shared")
+        fs.link("/a", "/b")
+        assert fs.read("/b") == b"shared"
+        assert fs.stat("/a").nlink == 2
+        assert fs.stat("/a").inum == fs.stat("/b").inum
+
+    def test_unlink_one_of_two_links(self, fs):
+        fs.write_file("/a", b"keep")
+        fs.link("/a", "/b")
+        fs.unlink("/a")
+        assert fs.read("/b") == b"keep"
+        assert fs.stat("/b").nlink == 1
+
+    def test_link_to_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryError_):
+            fs.link("/d", "/d2")
+
+
+class TestMountState:
+    def test_unmounted_ops_rejected(self, fs):
+        fs.unmount()
+        with pytest.raises(NotMountedError):
+            fs.create("/x")
+        with pytest.raises(NotMountedError):
+            fs.read("/")
+
+    def test_root_inum(self, fs):
+        assert fs.stat("/").inum == ROOT_INUM
+        assert fs.stat("/").is_directory

@@ -1,0 +1,135 @@
+"""Tests for checkpoint policy, write-cost accounting, and FS statistics."""
+
+import pytest
+
+from repro.core.constants import BlockKind
+from repro.core.filesystem import LFS
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+
+from tests.conftest import small_config
+
+
+class TestPeriodicCheckpoints:
+    def test_interval_triggers_checkpoint(self, disk):
+        fs = LFS.format(disk, small_config(checkpoint_interval=1.0))
+        base = fs.stats.checkpoints
+        # enough traffic to advance the simulated clock well past 1s
+        for i in range(120):
+            fs.write_file(f"/f{i}", b"c" * 20000)
+        assert fs.stats.checkpoints > base
+
+    def test_zero_interval_disables(self, disk):
+        fs = LFS.format(disk, small_config(checkpoint_interval=0))
+        base = fs.stats.checkpoints
+        for i in range(40):
+            fs.write_file(f"/f{i}", b"c" * 20000)
+        assert fs.stats.checkpoints == base
+
+    def test_checkpoint_regions_alternate(self, fs):
+        first = fs._next_region_b
+        fs.checkpoint()
+        assert fs._next_region_b != first
+        fs.checkpoint()
+        assert fs._next_region_b == first
+
+    def test_unmount_checkpoints(self, fs):
+        fs.write_file("/x", b"data")
+        before = fs.stats.checkpoints
+        fs.unmount()
+        assert fs.stats.checkpoints == before + 1
+
+    def test_dirop_blocks_die_at_checkpoint(self, fs):
+        fs.create("/a")
+        fs.sync()
+        assert fs._dirop_addrs  # a directory-log block is live in the log
+        fs.checkpoint()
+        assert not fs._dirop_addrs
+
+
+class TestStatistics:
+    def test_log_bandwidth_breakdown_covers_all_writes(self, fs):
+        for i in range(30):
+            fs.write_file(f"/f{i}", b"s" * 10000)
+        fs.checkpoint()
+        breakdown = fs.log_bandwidth_breakdown()
+        assert sum(breakdown.values()) == fs.writer.stats.total_blocks
+        assert breakdown["data"] > 0
+        assert breakdown["inode"] > 0
+        assert breakdown["summary"] > 0
+
+    def test_live_breakdown_matches_file_data(self, fs):
+        fs.write_file("/a", b"d" * 40960)  # 10 blocks
+        fs.sync()
+        live = fs.live_data_breakdown()
+        # the file's 10 blocks plus the root directory's single block
+        assert live["data"] == 11 * 4096
+
+    def test_write_cost_starts_near_one(self, fs):
+        for i in range(20):
+            fs.write_file(f"/f{i}", b"w" * 20000)
+        fs.sync()
+        assert 1.0 <= fs.write_cost < 1.6
+
+    def test_op_counters(self, fs):
+        fs.write_file("/a", b"1")
+        fs.read("/a")
+        fs.rename("/a", "/b")
+        fs.unlink("/b")
+        assert fs.stats.creates >= 1
+        assert fs.stats.reads >= 1
+        assert fs.stats.renames == 1
+        assert fs.stats.deletes == 1
+
+    def test_segment_utilizations_exclude_clean_by_default(self, fs):
+        fs.write_file("/a", b"x" * 100000)
+        fs.sync()
+        partial = fs.segment_utilizations()
+        full = fs.segment_utilizations(include_clean=True)
+        assert len(full) == fs.layout.num_segments
+        assert len(partial) < len(full)
+
+
+class TestFlushOrdering:
+    def test_dirops_precede_data_in_log(self, fs):
+        """Section 4.2's guarantee, checked against real on-disk order."""
+        from repro.core.summary import try_parse_summary
+
+        fs.create("/ordered")
+        fs.write("/ordered", b"payload")
+        fs.sync()
+        # the guarantee is per partial write: in any summary holding both,
+        # directory-log records come before inode (and data) blocks
+        checked = 0
+        start = fs.layout.segment_start(0)
+        offset = 0
+        while offset < fs.config.segment_blocks:
+            summary = try_parse_summary(fs.disk.peek(start + offset), 4096)
+            if summary is None:
+                break
+            kinds = [e.kind for e in summary.entries]
+            if BlockKind.DIROP_LOG in kinds:
+                for other in (BlockKind.DATA, BlockKind.INODE):
+                    if other in kinds:
+                        assert kinds.index(BlockKind.DIROP_LOG) < kinds.index(other)
+                        checked += 1
+            offset += 1 + len(summary.entries)
+        assert checked > 0
+
+    def test_inodes_follow_their_data(self, fs):
+        """Within one flush, data blocks are placed before inode blocks,
+        so a crash can leave data-without-inode but never the reverse."""
+        from repro.core.summary import try_parse_summary
+
+        fs.write_file("/f", b"z" * 20000)
+        fs.sync()
+        start = fs.layout.segment_start(0)
+        offset = 0
+        while offset < fs.config.segment_blocks:
+            summary = try_parse_summary(fs.disk.peek(start + offset), 4096)
+            if summary is None:
+                break
+            kinds = [e.kind for e in summary.entries]
+            if BlockKind.DATA in kinds and BlockKind.INODE in kinds:
+                assert kinds.index(BlockKind.INODE) > kinds.index(BlockKind.DATA)
+            offset += 1 + len(summary.entries)

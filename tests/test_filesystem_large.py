@@ -1,0 +1,128 @@
+"""Tests for large files: indirect blocks, sparse files, random I/O."""
+
+import random
+
+import pytest
+
+from repro.core.constants import NULL_ADDR, NUM_DIRECT
+from repro.core.filesystem import LFS
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+
+from tests.conftest import small_config
+
+BS = 4096
+
+
+class TestIndirectFiles:
+    def test_file_spanning_single_indirect(self, fs):
+        data = bytes([i % 251 for i in range(20 * BS)])  # 20 blocks > 10 direct
+        fs.write_file("/f", data)
+        fs.sync()
+        assert fs.read("/f") == data
+        inode = fs.get_inode(fs.stat("/f").inum)
+        assert inode.indirect != NULL_ADDR
+
+    def test_file_spanning_double_indirect(self):
+        # 1 KB blocks -> single indirect covers 128, double starts at 138
+        disk = Disk(DiskGeometry.wren4(block_size=1024, num_blocks=16384))
+        fs = LFS.format(
+            disk,
+            small_config(block_size=1024, segment_bytes=64 * 1024, write_buffer_blocks=64),
+        )
+        nblocks = NUM_DIRECT + 128 + 50
+        data = bytes([i % 250 for i in range(nblocks * 1024)])
+        fs.write_file("/huge", data)
+        fs.sync()
+        assert fs.read("/huge") == data
+        inode = fs.get_inode(fs.stat("/huge").inum)
+        assert inode.dindirect != NULL_ADDR
+
+    def test_double_indirect_survives_remount(self):
+        disk = Disk(DiskGeometry.wren4(block_size=1024, num_blocks=16384))
+        cfg = small_config(block_size=1024, segment_bytes=64 * 1024, write_buffer_blocks=64)
+        fs = LFS.format(disk, cfg)
+        nblocks = NUM_DIRECT + 128 + 10
+        data = b"D" * (nblocks * 1024)
+        fs.write_file("/huge", data)
+        fs.unmount()
+        fs2 = LFS.mount(disk, cfg)
+        assert fs2.read("/huge") == data
+
+    def test_truncate_releases_indirect_blocks(self, fs):
+        data = b"t" * (30 * BS)
+        fs.write_file("/f", data)
+        fs.sync()
+        live_before = fs.usage.total_live_bytes()
+        fs.truncate("/f", BS)
+        freed = live_before - fs.usage.total_live_bytes()
+        assert freed >= 29 * BS  # 29 data blocks + the indirect block
+
+    def test_delete_large_file_frees_everything(self, fs):
+        fs.write_file("/f", b"x" * (40 * BS))
+        fs.sync()
+        baseline = fs.usage.total_live_bytes()
+        fs.unlink("/f")
+        assert baseline - fs.usage.total_live_bytes() >= 40 * BS
+
+
+class TestRandomIO:
+    def test_random_writes_then_read_back(self, fs):
+        rng = random.Random(3)
+        size = 50 * BS
+        inum = fs.create("/r")
+        fs.write_inum(inum, bytes(size))
+        model = bytearray(size)
+        for _ in range(200):
+            off = rng.randrange(size - 100)
+            chunk = bytes([rng.randrange(256)]) * rng.randrange(1, 100)
+            fs.write_inum(inum, chunk, off)
+            model[off : off + len(chunk)] = chunk
+        fs.sync()
+        assert fs.read_inum(inum) == bytes(model)
+
+    def test_unaligned_overwrites(self, fs):
+        fs.write_file("/f", b"A" * 10000)
+        fs.write("/f", b"B" * 5000, offset=2500)
+        got = fs.read("/f")
+        assert got == b"A" * 2500 + b"B" * 5000 + b"A" * 2500
+
+    def test_interleaved_files(self, fs):
+        inums = [fs.create(f"/i{k}") for k in range(8)]
+        for round_no in range(6):
+            for k, inum in enumerate(inums):
+                fs.write_inum(inum, bytes([k * 10 + round_no]) * 3000, round_no * 3000)
+        fs.sync()
+        for k, inum in enumerate(inums):
+            got = fs.read_inum(inum)
+            for round_no in range(6):
+                seg = got[round_no * 3000 : (round_no + 1) * 3000]
+                assert seg == bytes([k * 10 + round_no]) * 3000
+
+
+class TestCacheBehavior:
+    def test_reread_hits_cache(self, fs):
+        fs.write_file("/f", b"c" * 8 * BS)
+        fs.sync()
+        fs.read("/f")
+        reads_before = fs.disk.stats.reads
+        fs.read("/f")
+        assert fs.disk.stats.reads == reads_before
+
+    def test_cold_read_goes_to_disk(self, fs):
+        fs.write_file("/f", b"c" * 8 * BS)
+        fs.sync()
+        fs.cache.clear_all()
+        reads_before = fs.disk.stats.reads
+        assert fs.read("/f") == b"c" * 8 * BS
+        assert fs.disk.stats.reads > reads_before
+
+    def test_eviction_under_pressure(self):
+        disk = Disk(DiskGeometry.wren4(num_blocks=8192))
+        fs = LFS.format(disk, small_config(cache_blocks=64, write_buffer_blocks=16))
+        for i in range(20):
+            fs.write_file(f"/f{i}", bytes([i]) * (8 * BS))
+        fs.sync()
+        assert len(fs.cache) <= 64 + 16  # capacity plus pinned dirty slack
+        for i in range(20):
+            assert fs.read(f"/f{i}") == bytes([i]) * (8 * BS)

@@ -1,0 +1,115 @@
+"""Tests for the production workload generators (scaled down)."""
+
+import pytest
+
+from repro.workloads.production import (
+    PAPER_TABLE2,
+    ProductionConfig,
+    _lognormal_size,
+    default_configs,
+    run_production,
+)
+
+
+class TestSizeDistribution:
+    def test_mean_near_target(self):
+        import random
+
+        rng = random.Random(1)
+        sizes = [_lognormal_size(rng, 23.5) for _ in range(20000)]
+        mean_kb = sum(sizes) / len(sizes) / 1024
+        assert 12 < mean_kb < 40  # around the configured 23.5KB
+
+    def test_heavy_tail_present(self):
+        import random
+
+        rng = random.Random(2)
+        sizes = [_lognormal_size(rng, 23.5) for _ in range(20000)]
+        big = sum(1 for s in sizes if s > 512 * 1024)
+        assert big > 20  # multi-segment files exist
+
+    def test_small_mean_has_smaller_tail(self):
+        import random
+
+        rng = random.Random(3)
+        small = [_lognormal_size(rng, 10.5) for _ in range(20000)]
+        rng = random.Random(3)
+        large = [_lognormal_size(rng, 68.1) for _ in range(20000)]
+        assert sum(small) < sum(large)
+
+
+class TestDefaultConfigs:
+    def test_five_paper_systems(self):
+        names = [c.name for c in default_configs()]
+        assert names == list(PAPER_TABLE2.keys())
+
+    def test_scaling(self):
+        half = default_configs(scale=0.5)
+        full = default_configs(scale=1.0)
+        for h, f in zip(half, full):
+            assert h.disk_mb <= f.disk_mb
+
+    def test_swap_is_sparse_random(self):
+        cfgs = {c.name: c for c in default_configs()}
+        assert cfgs["/swap2"].sparse_random
+        assert not cfgs["/user6"].sparse_random
+
+
+class TestRunProduction:
+    @pytest.fixture(scope="class")
+    def user6(self):
+        # Scale matters: the empty-segment effect needs enough free-space
+        # slack for segments to drain before the cleaner reaches them.
+        # The benchmark asserts the full Table 2 claims at 96MB; here a
+        # 64MB run checks the qualitative behavior quickly.
+        return run_production(ProductionConfig(name="/user6", disk_mb=64, traffic_mb=96))
+
+    def test_utilization_near_target(self, user6):
+        assert 0.70 < user6.in_use < 0.85
+
+    def test_cleaning_happened(self, user6):
+        assert user6.segments_cleaned > 0
+
+    def test_write_cost_far_below_simulation(self, user6):
+        """The paper's Table 2 headline: production write cost beats the
+        simulator's prediction at the same utilization (~4.5 at 75%)."""
+        assert user6.write_cost < 3.5
+
+    def test_some_cleaned_segments_empty(self, user6):
+        assert user6.fraction_empty > 0.15
+
+    def test_segment_snapshot_available(self, user6):
+        assert user6.seg_utilizations
+        assert all(0.0 <= u <= 1.0 for u in user6.seg_utilizations)
+
+    def test_tmp_low_utilization(self):
+        r = run_production(
+            ProductionConfig(
+                name="/tmp",
+                disk_mb=32,
+                traffic_mb=24,
+                target_utilization=0.11,
+                frozen_fraction=0.1,
+                die_young=0.9,
+                mean_file_kb=28.9,
+                seed=10,
+            )
+        )
+        assert r.in_use < 0.3
+        # nearly everything cleaned at very low utilization is free
+        assert r.write_cost < 1.5
+
+    def test_swap_workload_runs(self):
+        r = run_production(
+            ProductionConfig(
+                name="/swap2",
+                disk_mb=32,
+                traffic_mb=24,
+                sparse_random=True,
+                mean_file_kb=68.1,
+                target_utilization=0.65,
+                seed=11,
+            )
+        )
+        assert 0.4 < r.in_use < 0.8
+        assert r.write_cost >= 1.0

@@ -1,0 +1,109 @@
+"""Tests for the segment usage table."""
+
+import pytest
+
+from repro.core.errors import InvalidOperationError
+from repro.core.seg_usage import SegmentUsageTable
+
+
+@pytest.fixture
+def table():
+    return SegmentUsageTable(num_segments=32, segment_bytes=128 * 1024, entries_per_block=170)
+
+
+class TestAccounting:
+    def test_add_and_remove(self, table):
+        table.add_live(3, 4096, when=1.0)
+        table.add_live(3, 4096, when=2.0)
+        table.remove_live(3, 4096)
+        assert table.get(3).live_bytes == 4096
+        assert table.get(3).last_write == 2.0
+
+    def test_remove_never_negative(self, table):
+        table.add_live(1, 100, when=0.0)
+        table.remove_live(1, 5000)
+        assert table.get(1).live_bytes == 0
+
+    def test_add_marks_in_log(self, table):
+        table.add_live(2, 1, when=0.0)
+        assert not table.get(2).clean
+
+    def test_last_write_monotonic(self, table):
+        table.add_live(4, 1, when=5.0)
+        table.add_live(4, 1, when=3.0)
+        assert table.get(4).last_write == 5.0
+
+    def test_utilization(self, table):
+        table.add_live(0, 64 * 1024, when=0.0)
+        assert table.utilization(0) == pytest.approx(0.5)
+
+    def test_out_of_range(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.get(32)
+
+
+class TestCleanliness:
+    def test_initially_all_clean(self, table):
+        assert table.clean_count == 32
+
+    def test_mark_in_use_and_clean(self, table):
+        table.mark_in_use(5)
+        assert table.clean_count == 31
+        assert 5 in table.dirty_segments()
+        table.mark_clean(5)
+        assert table.clean_count == 32
+
+    def test_mark_clean_zeroes_live(self, table):
+        table.add_live(5, 999, when=0.0)
+        table.mark_clean(5)
+        assert table.get(5).live_bytes == 0
+
+    def test_clean_segments_sorted(self, table):
+        table.mark_in_use(0)
+        table.mark_in_use(7)
+        clean = table.clean_segments()
+        assert clean == sorted(clean)
+        assert 0 not in clean and 7 not in clean
+
+    def test_total_live_bytes(self, table):
+        table.add_live(0, 100, when=0.0)
+        table.add_live(9, 200, when=0.0)
+        assert table.total_live_bytes() == 300
+
+
+class TestHistogram:
+    def test_histogram_counts_dirty_only(self, table):
+        table.add_live(0, 128 * 1024, when=0.0)  # u = 1.0
+        table.add_live(1, 64 * 1024, when=0.0)  # u = 0.5
+        hist = table.utilization_histogram(bins=4)
+        assert sum(hist) == 2
+        assert hist[3] == 1  # the full one
+        assert hist[2] == 1  # the half one
+
+    def test_histogram_rejects_bad_bins(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.utilization_histogram(bins=0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, table):
+        table.add_live(3, 12345, when=9.0)
+        payload = table.pack_block(0, 4096)
+        other = SegmentUsageTable(32, 128 * 1024, 170)
+        other.load_block(0, payload)
+        assert other.get(3).live_bytes == 12345
+        assert other.get(3).last_write == 9.0
+        assert not other.get(3).clean
+
+    def test_load_marks_empty_clean(self, table):
+        table.mark_in_use(3)  # dirty but empty
+        payload = table.pack_block(0, 4096)
+        other = SegmentUsageTable(32, 128 * 1024, 170)
+        other.load_block(0, payload)
+        assert other.get(3).clean
+
+    def test_dirty_tracking(self, table):
+        table.add_live(0, 1, when=0.0)
+        assert table.dirty_block_indexes() == [0]
+        table.clear_dirty(0)
+        assert table.dirty_block_indexes() == []

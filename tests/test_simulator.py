@@ -1,0 +1,204 @@
+"""Tests for the Section 3.5 cleaning simulator."""
+
+import pytest
+
+from repro.simulator.model import SimConfig, Simulator
+from repro.simulator.patterns import HotColdPattern, UniformPattern
+from repro.simulator.policies import (
+    GroupingPolicy,
+    SelectionPolicy,
+    rank_cost_benefit,
+    rank_greedy,
+)
+from repro.simulator.writecost import (
+    bandwidth_fraction,
+    lfs_write_cost,
+    measured_write_cost,
+)
+
+
+def tiny_config(**kw):
+    defaults = dict(
+        num_segments=40,
+        blocks_per_segment=32,
+        utilization=0.6,
+        clean_threshold=2,
+        segments_per_pass=1,
+        warmup_factor=3,
+        measure_factor=2,
+        max_windows=6,
+        stable_tol=0.1,
+        stable_windows=1,
+    )
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+class TestWriteCostFormula:
+    def test_u_zero_is_one(self):
+        assert lfs_write_cost(0.0) == 1.0
+
+    def test_formula_values(self):
+        assert lfs_write_cost(0.5) == pytest.approx(4.0)
+        assert lfs_write_cost(0.8) == pytest.approx(10.0)
+
+    def test_monotonic(self):
+        costs = [lfs_write_cost(u / 10) for u in range(10)]
+        assert costs == sorted(costs)
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            lfs_write_cost(1.0)
+
+    def test_measured(self):
+        assert measured_write_cost(100, 50, 150) == pytest.approx(3.0)
+        assert measured_write_cost(0, 0, 0) == 1.0
+
+    def test_bandwidth_fraction(self):
+        assert bandwidth_fraction(4.0) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            bandwidth_fraction(0.5)
+
+
+class TestInvariants:
+    def test_live_count_conserved(self):
+        sim = Simulator(tiny_config())
+        for _ in range(2000):
+            sim.step()
+        assert sum(sim.seg_live) == sim.config.num_files
+        assert sum(len(s) for s in sim.seg_files) == sim.config.num_files
+
+    def test_file_seg_consistent(self):
+        sim = Simulator(tiny_config())
+        for _ in range(3000):
+            sim.step()
+        for f, seg in enumerate(sim.file_seg):
+            assert f in sim.seg_files[seg]
+
+    def test_clean_segments_have_no_live(self):
+        sim = Simulator(tiny_config())
+        for _ in range(3000):
+            sim.step()
+        for seg in sim.clean_segs:
+            assert sim.seg_live[seg] == 0
+
+    def test_deterministic_given_seed(self):
+        r1 = Simulator(tiny_config(seed=5)).run()
+        r2 = Simulator(tiny_config(seed=5)).run()
+        assert r1.write_cost == r2.write_cost
+
+    def test_different_seeds_diverge(self):
+        r1 = Simulator(tiny_config(seed=1)).run()
+        r2 = Simulator(tiny_config(seed=2)).run()
+        # not a strict requirement, but equal costs to full precision
+        # would indicate the seed is ignored
+        assert r1.new_blocks == r2.new_blocks  # same step counts
+        assert r1.moved_blocks != r2.moved_blocks or r1.write_cost != r2.write_cost
+
+
+class TestPatterns:
+    def test_uniform_covers_population(self):
+        import random
+
+        p = UniformPattern()
+        p.bind(50, random.Random(1))
+        seen = {p.next_file() for _ in range(2000)}
+        assert len(seen) == 50
+
+    def test_hot_cold_split(self):
+        import random
+
+        p = HotColdPattern(hot_fraction=0.1, hot_access_fraction=0.9)
+        p.bind(100, random.Random(1))
+        hits = [p.next_file() for _ in range(10000)]
+        hot_hits = sum(1 for f in hits if f < 10)
+        assert 0.85 < hot_hits / len(hits) < 0.95
+
+    def test_hot_cold_validation(self):
+        with pytest.raises(ValueError):
+            HotColdPattern(hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotColdPattern(hot_access_fraction=1.5)
+
+    def test_names(self):
+        assert UniformPattern().name == "uniform"
+        assert "90/10" in HotColdPattern().name
+
+
+class TestPolicies:
+    class _View:
+        def __init__(self, live, mtimes):
+            self._live = live
+            self._mtimes = mtimes
+
+        def live_blocks(self, seg):
+            return self._live[seg]
+
+        def segment_mtime(self, seg):
+            return self._mtimes[seg]
+
+    def test_greedy_orders_by_liveness(self):
+        view = self._View({0: 30, 1: 5, 2: 17}, {0: 0, 1: 0, 2: 0})
+        assert rank_greedy([0, 1, 2], view) == [1, 2, 0]
+
+    def test_cost_benefit_prefers_old_at_equal_u(self):
+        view = self._View({0: 16, 1: 16}, {0: 100.0, 1: 900.0})
+        ranked = rank_cost_benefit([0, 1], view, now=1000.0, blocks_per_segment=32)
+        assert ranked == [0, 1]  # the older segment wins
+
+    def test_cost_benefit_protects_full_segments(self):
+        view = self._View({0: 32, 1: 20}, {0: 0.0, 1: 500.0})
+        ranked = rank_cost_benefit([0, 1], view, now=1000.0, blocks_per_segment=32)
+        assert ranked[0] == 1  # u = 1.0 has zero benefit
+
+
+class TestBehaviour:
+    def test_write_cost_grows_with_utilization(self):
+        low = Simulator(tiny_config(utilization=0.3)).run()
+        high = Simulator(tiny_config(utilization=0.75)).run()
+        assert high.write_cost > low.write_cost
+
+    def test_cost_benefit_beats_greedy_hot_cold_at_high_util(self):
+        greedy = Simulator(
+            tiny_config(
+                utilization=0.75,
+                selection=SelectionPolicy.GREEDY,
+                grouping=GroupingPolicy.AGE_SORT,
+                num_segments=60,
+                blocks_per_segment=64,
+                warmup_factor=6,
+                max_windows=12,
+            ),
+            HotColdPattern(),
+        ).run()
+        costben = Simulator(
+            tiny_config(
+                utilization=0.75,
+                selection=SelectionPolicy.COST_BENEFIT,
+                grouping=GroupingPolicy.AGE_SORT,
+                num_segments=60,
+                blocks_per_segment=64,
+                warmup_factor=6,
+                max_windows=12,
+            ),
+            HotColdPattern(),
+        ).run()
+        assert costben.write_cost < greedy.write_cost
+
+    def test_cleaned_utilizations_recorded(self):
+        result = Simulator(tiny_config(utilization=0.7)).run()
+        assert result.segments_cleaned > 0
+        assert result.cleaned_utilizations
+        assert all(0.0 <= u <= 1.0 for u in result.cleaned_utilizations)
+
+    def test_utilization_snapshots_recorded(self):
+        result = Simulator(tiny_config(utilization=0.7)).run()
+        assert result.utilization_histogram
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(utilization=0.0)
+        with pytest.raises(ValueError):
+            SimConfig(utilization=0.995)
+        with pytest.raises(ValueError):
+            SimConfig(num_segments=2)

@@ -1,0 +1,89 @@
+"""Tests for segment summary blocks."""
+
+import pytest
+
+from repro.core.constants import BlockKind
+from repro.core.errors import CorruptionError, InvalidOperationError
+from repro.core.summary import (
+    SegmentSummary,
+    SummaryEntry,
+    summary_capacity,
+    try_parse_summary,
+)
+
+
+def make_summary(n=3, seq=10):
+    entries = [SummaryEntry(kind=BlockKind.DATA, inum=i + 1, offset=i, version=2) for i in range(n)]
+    return SegmentSummary(seq=seq, write_time=1.0, youngest_mtime=0.5, entries=entries,
+                          next_segment=7)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        s = make_summary()
+        payloads = [b"a" * 4096, b"b" * 4096, b"c" * 4096]
+        raw = s.pack(payloads, 4096)
+        got = SegmentSummary.unpack(raw, 4096)
+        assert got.seq == 10
+        assert got.next_segment == 7
+        assert got.youngest_mtime == 0.5
+        assert [e.inum for e in got.entries] == [1, 2, 3]
+        assert got.verify(payloads)
+
+    def test_crc_detects_payload_change(self):
+        s = make_summary(1)
+        raw = s.pack([b"a" * 4096], 4096)
+        got = SegmentSummary.unpack(raw, 4096)
+        assert not got.verify([b"b" * 4096])
+
+    def test_crc_detects_missing_payload(self):
+        s = make_summary(2)
+        raw = s.pack([b"a" * 4096, b"b" * 4096], 4096)
+        got = SegmentSummary.unpack(raw, 4096)
+        assert not got.verify([b"a" * 4096])
+
+    def test_mismatched_entry_count_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            make_summary(2).pack([b"a"], 4096)
+
+    def test_capacity_enforced(self):
+        cap = summary_capacity(4096)
+        s = make_summary(cap + 1)
+        with pytest.raises(InvalidOperationError):
+            s.pack([b"x"] * (cap + 1), 4096)
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(make_summary().pack([b"", b"", b""], 4096))
+        raw[0] = 0
+        with pytest.raises(CorruptionError):
+            SegmentSummary.unpack(bytes(raw), 4096)
+
+    def test_bad_kind_rejected(self):
+        s = make_summary(1)
+        raw = bytearray(s.pack([b""], 4096))
+        raw[48] = 200  # first entry's kind byte
+        with pytest.raises(CorruptionError):
+            SegmentSummary.unpack(bytes(raw), 4096)
+
+    def test_zero_entries(self):
+        s = SegmentSummary(seq=1, write_time=0.0)
+        raw = s.pack([], 4096)
+        got = SegmentSummary.unpack(raw, 4096)
+        assert got.entries == []
+
+    def test_capacity_value(self):
+        assert summary_capacity(4096) == (4096 - 48) // 32
+        assert summary_capacity(1024) == (1024 - 48) // 32
+
+
+class TestTryParse:
+    def test_garbage_returns_none(self):
+        assert try_parse_summary(b"\x00" * 4096, 4096) is None
+
+    def test_valid_parses(self):
+        raw = make_summary(1).pack([b"x" * 4096], 4096)
+        assert try_parse_summary(raw, 4096) is not None
+
+    def test_random_data_block_rarely_parses(self):
+        # a data block full of text must not look like a summary
+        assert try_parse_summary(b"hello world " * 341, 4096) is None

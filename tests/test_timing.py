@@ -1,0 +1,76 @@
+"""Tests for the simulated clock and I/O statistics."""
+
+import pytest
+
+from repro.disk.timing import BandwidthReport, IOStats, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_future_only(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)  # no-op: already past
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_repr(self):
+        assert "SimClock" in repr(SimClock())
+
+
+class TestIOStats:
+    def test_snapshot_is_independent(self):
+        stats = IOStats(reads=3, busy_time=1.0)
+        snap = stats.snapshot()
+        stats.reads = 99
+        assert snap.reads == 3
+
+    def test_delta(self):
+        earlier = IOStats(reads=2, writes=1, bytes_read=100, busy_time=0.5, seeks=1)
+        later = IOStats(reads=5, writes=4, bytes_read=300, busy_time=2.0, seeks=3)
+        delta = later.delta(earlier)
+        assert delta.reads == 3
+        assert delta.writes == 3
+        assert delta.bytes_read == 200
+        assert delta.busy_time == pytest.approx(1.5)
+        assert delta.seeks == 2
+
+    def test_totals(self):
+        stats = IOStats(reads=2, writes=3, bytes_read=10, bytes_written=20)
+        assert stats.total_ops == 5
+        assert stats.total_bytes == 30
+
+    def test_utilization(self):
+        stats = IOStats(busy_time=1.0)
+        assert stats.utilization(4.0) == pytest.approx(0.25)
+        assert stats.utilization(0.5) == 1.0  # clamped
+        assert stats.utilization(0.0) == 0.0
+
+
+class TestBandwidthReport:
+    def test_bandwidth(self):
+        report = BandwidthReport(label="x", nbytes=1024 * 100, elapsed=10.0)
+        assert report.bytes_per_second == pytest.approx(10240.0)
+        assert report.kilobytes_per_second == pytest.approx(10.0)
+
+    def test_zero_elapsed(self):
+        report = BandwidthReport(label="x", nbytes=100, elapsed=0.0)
+        assert report.bytes_per_second == 0.0

@@ -1,0 +1,102 @@
+"""Tests for trace recording, persistence, and replay."""
+
+import pytest
+
+from repro.core.filesystem import LFS
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.ffs.filesystem import FFS, FFSConfig
+from repro.workloads.trace import Trace, TraceOp, generate_office_trace, replay
+
+from tests.conftest import small_config
+
+
+def make_lfs():
+    disk = Disk(DiskGeometry.wren4(num_blocks=8192))
+    return LFS.format(disk, small_config())
+
+
+def make_ffs():
+    disk = Disk(DiskGeometry.wren4(block_size=8192, num_blocks=4096))
+    return FFS.format(disk, FFSConfig(max_inodes=2048))
+
+
+class TestTraceOp:
+    def test_payload_deterministic(self):
+        op = TraceOp(op="write", path="/f", data_len=1000, seed=7)
+        assert op.payload() == op.payload()
+        assert len(op.payload()) == 1000
+
+    def test_payload_differs_by_seed(self):
+        a = TraceOp(op="write", path="/f", data_len=100, seed=1)
+        b = TraceOp(op="write", path="/f", data_len=100, seed=2)
+        assert a.payload() != b.payload()
+
+    def test_json_roundtrip(self):
+        op = TraceOp(op="rename", path="/a", path2="/b", offset=5, data_len=9, seed=3)
+        assert TraceOp.from_json(op.to_json()) == op
+
+
+class TestTracePersistence:
+    def test_save_load(self, tmp_path):
+        trace = generate_office_trace(num_ops=50, seed=1)
+        path = str(tmp_path / "t.jsonl")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.ops == trace.ops
+
+    def test_generated_trace_shape(self):
+        trace = generate_office_trace(num_ops=500, seed=2)
+        kinds = {op.op for op in trace.ops}
+        assert {"mkdir", "write", "read"}.issubset(kinds)
+        # ~num_ops churn steps (some rename rolls emit nothing) + prologue
+        assert 450 <= len(trace) <= 508
+
+    def test_deterministic_generation(self):
+        a = generate_office_trace(num_ops=100, seed=5)
+        b = generate_office_trace(num_ops=100, seed=5)
+        assert a.ops == b.ops
+
+
+class TestReplay:
+    def test_replay_matches_model(self):
+        trace = generate_office_trace(num_ops=300, seed=3)
+        fs = make_lfs()
+        result = replay(fs, trace)
+        assert result.applied > 250
+        for path, expected in result.final_files.items():
+            assert fs.read(path) == expected, path
+
+    def test_same_trace_same_contents_on_both_systems(self):
+        """The same operation stream produces identical observable state."""
+        trace = generate_office_trace(num_ops=200, seed=4)
+        lfs, ffs = make_lfs(), make_ffs()
+        r1 = replay(lfs, trace)
+        r2 = replay(ffs, trace)
+        assert r1.final_files == r2.final_files
+        for path, expected in r1.final_files.items():
+            assert lfs.read(path) == expected
+            assert ffs.read(path) == expected
+
+    def test_lfs_faster_on_write_heavy_trace(self):
+        """LFS's batched log writes beat FFS's synchronous pattern."""
+        trace = generate_office_trace(num_ops=400, read_fraction=0.1, seed=6)
+        lfs, ffs = make_lfs(), make_ffs()
+        t_lfs = replay(lfs, trace).elapsed
+        t_ffs = replay(ffs, trace).elapsed
+        assert t_lfs < t_ffs
+
+    def test_replay_survives_remount(self):
+        trace = generate_office_trace(num_ops=200, seed=7)
+        fs = make_lfs()
+        result = replay(fs, trace)
+        fs.unmount()
+        fs2 = LFS.mount(fs.disk, small_config())
+        for path, expected in result.final_files.items():
+            assert fs2.read(path) == expected
+
+    def test_unknown_op_skipped(self):
+        fs = make_lfs()
+        trace = Trace(ops=[TraceOp(op="chmod", path="/x")])
+        result = replay(fs, trace)
+        assert result.skipped == 1 and result.applied == 0

@@ -1,0 +1,121 @@
+"""Tests for the benchmark workload generators (scaled down)."""
+
+import pytest
+
+from repro.workloads.largefile import PHASES, run_largefile
+from repro.workloads.recovery_bench import run_recovery_case
+from repro.workloads.smallfile import predicted_scaling, run_smallfile
+
+
+class TestSmallFile:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            "lfs": run_smallfile("lfs", num_files=300),
+            "ffs": run_smallfile("ffs", num_files=300),
+        }
+
+    def test_all_phases_present(self, results):
+        for r in results.values():
+            assert [p.name for p in r.phases] == ["create", "read", "delete"]
+            for p in r.phases:
+                assert p.files_per_second > 0
+
+    def test_lfs_create_order_of_magnitude_faster(self, results):
+        """Figure 8(a): 'almost ten times as fast ... for create'."""
+        ratio = (
+            results["lfs"].phase("create").files_per_second
+            / results["ffs"].phase("create").files_per_second
+        )
+        assert ratio > 8.0
+
+    def test_lfs_delete_much_faster(self, results):
+        ratio = (
+            results["lfs"].phase("delete").files_per_second
+            / results["ffs"].phase("delete").files_per_second
+        )
+        assert ratio > 5.0
+
+    def test_ffs_disk_bound_lfs_cpu_bound(self, results):
+        """Figure 8: SunOS kept the disk 85% busy; Sprite LFS 17%."""
+        assert results["ffs"].phase("create").disk_utilization > 0.7
+        assert results["lfs"].phase("create").disk_utilization < 0.5
+
+    def test_lfs_reads_faster_cold(self, results):
+        """LFS packs the files densely in the log (read in create order)."""
+        assert (
+            results["lfs"].phase("read").files_per_second
+            > results["ffs"].phase("read").files_per_second
+        )
+
+    def test_scaling_prediction_shape(self):
+        """Figure 8(b): LFS scales with CPU speed, FFS does not."""
+        lfs = predicted_scaling("lfs", [1.0, 4.0], num_files=200)
+        ffs = predicted_scaling("ffs", [1.0, 4.0], num_files=200)
+        lfs_gain = lfs[1][1] / lfs[0][1]
+        ffs_gain = ffs[1][1] / ffs[0][1]
+        assert lfs_gain > 2.0  # strongly CPU-bound
+        assert ffs_gain < 1.3  # disk-bound, barely improves
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_smallfile("ext4")
+
+
+class TestLargeFile:
+    @pytest.fixture(scope="class")
+    def results(self):
+        size = 8 * 1024 * 1024
+        return {
+            "lfs": run_largefile("lfs", file_size=size, cache_blocks=512),
+            "ffs": run_largefile("ffs", file_size=size, cache_blocks=256),
+        }
+
+    def test_all_phases_present(self, results):
+        for r in results.values():
+            assert [p.name for p in r.phases] == list(PHASES)
+
+    def test_lfs_wins_sequential_write(self, results):
+        assert (
+            results["lfs"].phase("seq write").kb_per_second
+            > results["ffs"].phase("seq write").kb_per_second
+        )
+
+    def test_lfs_wins_random_write(self, results):
+        """LFS turns random writes into sequential log writes."""
+        lfs = results["lfs"].phase("rand write").kb_per_second
+        ffs = results["ffs"].phase("rand write").kb_per_second
+        assert lfs > 2 * ffs
+
+    def test_seq_read_comparable(self, results):
+        lfs = results["lfs"].phase("seq read").kb_per_second
+        ffs = results["ffs"].phase("seq read").kb_per_second
+        assert 0.5 < lfs / ffs < 2.0
+
+    def test_ffs_wins_reread_after_random_write(self, results):
+        """The one case the paper shows SunOS winning: sequential reread
+        of a randomly written file (LFS pays seeks)."""
+        lfs = results["lfs"].phase("seq reread").kb_per_second
+        ffs = results["ffs"].phase("seq reread").kb_per_second
+        assert ffs > 1.5 * lfs
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            run_largefile("lfs", file_size=1000, io_unit=8192)
+
+
+class TestRecoveryBench:
+    def test_recovery_scales_with_file_count(self):
+        many_small = run_recovery_case(1024, 1)
+        few_large = run_recovery_case(102400, 1)
+        assert many_small.num_files > few_large.num_files
+        assert many_small.recovery_seconds > few_large.recovery_seconds
+
+    def test_recovery_scales_with_volume(self):
+        one = run_recovery_case(10240, 1)
+        five = run_recovery_case(10240, 5)
+        assert five.recovery_seconds > one.recovery_seconds
+
+    def test_recovered_counts(self):
+        cell = run_recovery_case(10240, 1)
+        assert cell.inodes_recovered >= cell.num_files
