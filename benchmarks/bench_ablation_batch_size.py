@@ -9,14 +9,14 @@ the simulator under hot-and-cold access with age-sorting.
 from conftest import run_once, save_result
 
 from repro.analysis.ascii_chart import render_table
-from repro.simulator.model import SimConfig, Simulator
-from repro.simulator.patterns import HotColdPattern
+from repro.simulator.model import SimConfig
 from repro.simulator.policies import GroupingPolicy, SelectionPolicy
+from repro.simulator.sweep import SweepPoint, run_sweep as sweep
 
 PASS_SIZES = (1, 4, 16)
 
 
-def run_point(segments_per_pass: int) -> float:
+def _point(segments_per_pass: int) -> SweepPoint:
     cfg = SimConfig(
         utilization=0.75,
         selection=SelectionPolicy.COST_BENEFIT,
@@ -29,11 +29,12 @@ def run_point(segments_per_pass: int) -> float:
         stable_tol=0.02,
         stable_windows=3,
     )
-    return Simulator(cfg, HotColdPattern()).run().write_cost
+    return SweepPoint(cfg, "hot-cold")
 
 
 def run_sweep():
-    return {n: run_point(n) for n in PASS_SIZES}
+    results = sweep([_point(n) for n in PASS_SIZES])
+    return {n: r.write_cost for n, r in zip(PASS_SIZES, results)}
 
 
 def test_ablation_batch_size(benchmark):

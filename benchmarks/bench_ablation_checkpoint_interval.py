@@ -17,6 +17,7 @@ from repro.core.constants import BlockKind
 from repro.core.filesystem import LFS
 from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
+from repro.simulator.sweep import parallel_map
 
 INTERVALS = (10.0, 30.0, 120.0, 600.0)
 THINK_TIME = 2.0  # seconds of idle time between operations (trickle)
@@ -43,7 +44,8 @@ def measure(interval: float) -> tuple[float, float]:
 
 
 def run_sweep():
-    return {interval: measure(interval) for interval in INTERVALS}
+    values = parallel_map(measure, [(interval,) for interval in INTERVALS])
+    return dict(zip(INTERVALS, values))
 
 
 def test_ablation_checkpoint_interval(benchmark):

@@ -9,43 +9,36 @@ patterns against both policies at 75% utilization.
 from conftest import run_once, save_result
 
 from repro.analysis.ascii_chart import render_table
-from repro.simulator.model import SimConfig, Simulator
-from repro.simulator.patterns import HotColdPattern, UniformPattern
+from repro.simulator.model import SimConfig
 from repro.simulator.policies import GroupingPolicy, SelectionPolicy
+from repro.simulator.sweep import SweepPoint, run_sweep as sweep
 
-
-def run_point(pattern, selection) -> float:
-    cfg = SimConfig(
-        utilization=0.75,
-        selection=selection,
-        grouping=GroupingPolicy.AGE_SORT,
-        warmup_factor=8,
-        measure_factor=4,
-        max_windows=25,
-        stable_tol=0.02,
-        stable_windows=3,
-    )
-    return Simulator(cfg, pattern).run().write_cost
+PATTERN_SPECS = (
+    ("uniform", "uniform"),
+    ("hot-cold 90/10", "hot-cold:0.1/0.9"),
+    ("hot-cold 95/5", "hot-cold:0.05/0.95"),
+)
 
 
 def run_sweep():
-    patterns = {
-        "uniform": UniformPattern(),
-        "hot-cold 90/10": HotColdPattern(0.1, 0.9),
-        "hot-cold 95/5": HotColdPattern(0.05, 0.95),
-    }
-    out = {}
-    for name, pattern_proto in patterns.items():
+    keys = []
+    points = []
+    for name, spec in PATTERN_SPECS:
         for policy in (SelectionPolicy.GREEDY, SelectionPolicy.COST_BENEFIT):
-            pattern = (
-                UniformPattern()
-                if name == "uniform"
-                else HotColdPattern(pattern_proto.hot_fraction, pattern_proto.hot_access_fraction)
-                if isinstance(pattern_proto, HotColdPattern)
-                else pattern_proto
+            cfg = SimConfig(
+                utilization=0.75,
+                selection=policy,
+                grouping=GroupingPolicy.AGE_SORT,
+                warmup_factor=8,
+                measure_factor=4,
+                max_windows=25,
+                stable_tol=0.02,
+                stable_windows=3,
             )
-            out[(name, policy.value)] = run_point(pattern, policy)
-    return out
+            keys.append((name, policy.value))
+            points.append(SweepPoint(cfg, spec))
+    results = sweep(points)
+    return {key: r.write_cost for key, r in zip(keys, results)}
 
 
 def test_ablation_locality(benchmark):

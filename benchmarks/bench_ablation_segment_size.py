@@ -15,6 +15,7 @@ from repro.core.config import LFSConfig
 from repro.core.filesystem import LFS
 from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
+from repro.simulator.sweep import parallel_map
 
 SEGMENT_SIZES = (64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024, 2 * 1024 * 1024)
 
@@ -39,7 +40,8 @@ def measure(segment_bytes: int) -> float:
 
 
 def run_sweep():
-    return {size: measure(size) for size in SEGMENT_SIZES}
+    values = parallel_map(measure, [(size,) for size in SEGMENT_SIZES])
+    return dict(zip(SEGMENT_SIZES, values))
 
 
 def test_ablation_segment_size(benchmark):

@@ -20,6 +20,7 @@ from repro.core.config import LFSConfig
 from repro.core.filesystem import LFS
 from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
+from repro.simulator.sweep import parallel_map
 
 # 64MB disk at ~70% utilization -> roughly 38 segments can ever be clean.
 SMALL_SETTINGS = ((2, 4), (4, 8), (8, 16))
@@ -55,8 +56,10 @@ def measure(low: int, high: int) -> float:
 
 
 def run_sweep():
-    out = {f"{low}/{high}": measure(low, high) for low, high in SMALL_SETTINGS}
-    out[f"{EXTREME[0]}/{EXTREME[1]} (≈ free capacity)"] = measure(*EXTREME)
+    settings = list(SMALL_SETTINGS) + [EXTREME]
+    values = parallel_map(measure, settings)
+    out = dict(zip((f"{lo}/{hi}" for lo, hi in SMALL_SETTINGS), values))
+    out[f"{EXTREME[0]}/{EXTREME[1]} (≈ free capacity)"] = values[-1]
     return out
 
 

@@ -6,14 +6,24 @@ above the cleaning point — so segments get cleaned at a higher average
 utilization than under uniform access.
 """
 
-from conftest import run_once, save_result
+from conftest import record_bench, run_once_timed, save_result
 
 from repro.analysis.figures import fig05_greedy_distributions
+from repro.simulator.sweep import resolve_workers
 
 
 def test_fig05_greedy_distributions(benchmark):
-    result = run_once(benchmark, lambda: fig05_greedy_distributions(0.75))
+    workers = resolve_workers(None, njobs=2)
+    result, wall = run_once_timed(
+        benchmark, lambda: fig05_greedy_distributions(0.75, workers=workers)
+    )
     save_result("fig05_greedy_distributions", result.render())
+    record_bench(
+        "fig05_greedy_distributions",
+        wall_seconds=wall,
+        workers=workers,
+        steps=result.sim_steps,
+    )
 
     uniform = result.distributions["uniform"]
     hotcold = result.distributions["hot-and-cold"]

@@ -6,14 +6,24 @@ desired bimodal distribution (most segments nearly full, a few nearly
 empty).
 """
 
-from conftest import run_once, save_result
+from conftest import record_bench, run_once_timed, save_result
 
 from repro.analysis.figures import fig06_costbenefit_distribution
+from repro.simulator.sweep import resolve_workers
 
 
 def test_fig06_costbenefit_distribution(benchmark):
-    result = run_once(benchmark, lambda: fig06_costbenefit_distribution(0.75))
+    workers = resolve_workers(None, njobs=2)
+    result, wall = run_once_timed(
+        benchmark, lambda: fig06_costbenefit_distribution(0.75, workers=workers)
+    )
     save_result("fig06_costbenefit_distribution", result.render())
+    record_bench(
+        "fig06_costbenefit_distribution",
+        wall_seconds=wall,
+        workers=workers,
+        steps=result.sim_steps,
+    )
 
     cb = result.distributions["LFS cost-benefit"]
     assert cb

@@ -2,12 +2,18 @@
 
 Every benchmark regenerates one of the paper's tables or figures, prints
 it, and archives the rendered text under ``benchmarks/results/`` so a run
-leaves a reviewable record.
+leaves a reviewable record. Benchmarks with a perf story additionally
+record a machine-readable ``BENCH_*.json`` (via
+:func:`repro.simulator.sweep.record_bench`) so wall-clock and
+steps-per-second are tracked from commit to commit.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
+
+from repro.simulator.sweep import record_bench as _record_bench
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -23,3 +29,17 @@ def save_result(name: str, text: str) -> None:
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_once_timed(benchmark, fn):
+    """Like :func:`run_once`, also returning measured wall-clock seconds."""
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    return result, time.perf_counter() - t0
+
+
+def record_bench(name: str, *, wall_seconds: float, **kwargs) -> pathlib.Path:
+    """Record ``benchmarks/results/BENCH_<name>.json`` (schema in sweep.py)."""
+    return _record_bench(
+        name, wall_seconds=wall_seconds, results_dir=RESULTS_DIR, **kwargs
+    )

@@ -17,8 +17,8 @@ from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
 from repro.ffs.filesystem import FFS, FFSConfig
 from repro.simulator.model import SimConfig, Simulator
-from repro.simulator.patterns import HotColdPattern, UniformPattern
 from repro.simulator.policies import GroupingPolicy, SelectionPolicy
+from repro.simulator.sweep import SweepPoint, run_sweep
 from repro.simulator.writecost import (
     FFS_IMPROVED_WRITE_COST,
     FFS_TODAY_WRITE_COST,
@@ -128,8 +128,10 @@ def fig03_writecost_formula(us: tuple[float, ...] | None = None) -> Fig03Result:
 # Figures 4-7 — the cleaning simulator
 
 
-def _sim(util: float, pattern, selection, grouping, *, fast: bool, seed: int = 42) -> Simulator:
-    cfg = SimConfig(
+def _sim_config(
+    util: float, selection, grouping, *, fast: bool, seed: int = 42
+) -> SimConfig:
+    return SimConfig(
         utilization=util,
         selection=selection,
         grouping=grouping,
@@ -142,7 +144,10 @@ def _sim(util: float, pattern, selection, grouping, *, fast: bool, seed: int = 4
         stable_windows=2 if fast else 3,
         seed=seed,
     )
-    return Simulator(cfg, pattern)
+
+
+def _sim(util: float, pattern, selection, grouping, *, fast: bool, seed: int = 42) -> Simulator:
+    return Simulator(_sim_config(util, selection, grouping, fast=fast, seed=seed), pattern)
 
 
 @dataclass
@@ -151,6 +156,7 @@ class WriteCostCurves:
 
     title: str
     curves: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    sim_steps: int = 0  # total simulated steps behind the curves
 
     def render(self) -> str:
         series = dict(self.curves)
@@ -176,20 +182,31 @@ class WriteCostCurves:
 
 
 def fig04_greedy_simulation(
-    utils: tuple[float, ...] = DEFAULT_UTILS, *, fast: bool = False
+    utils: tuple[float, ...] = DEFAULT_UTILS,
+    *,
+    fast: bool = False,
+    workers: int | None = None,
 ) -> WriteCostCurves:
-    """Figure 4: greedy cleaning under uniform and hot-and-cold access."""
+    """Figure 4: greedy cleaning under uniform and hot-and-cold access.
+
+    All points fan out through the parallel sweep runner; seeds are
+    per-point, so results match the legacy sequential loop exactly.
+    """
     result = WriteCostCurves(
         title="Figure 4 — write cost vs disk utilization (greedy cleaner)"
     )
-    result.curves["LFS uniform"] = [
-        (u, _sim(u, UniformPattern(), SelectionPolicy.GREEDY, GroupingPolicy.NONE, fast=fast).run().write_cost)
+    points = [
+        SweepPoint(_sim_config(u, SelectionPolicy.GREEDY, GroupingPolicy.NONE, fast=fast), "uniform")
+        for u in utils
+    ] + [
+        SweepPoint(_sim_config(u, SelectionPolicy.GREEDY, GroupingPolicy.AGE_SORT, fast=fast), "hot-cold")
         for u in utils
     ]
-    result.curves["LFS hot-and-cold"] = [
-        (u, _sim(u, HotColdPattern(), SelectionPolicy.GREEDY, GroupingPolicy.AGE_SORT, fast=fast).run().write_cost)
-        for u in utils
-    ]
+    runs = run_sweep(points, workers=workers)
+    n = len(utils)
+    result.curves["LFS uniform"] = [(u, r.write_cost) for u, r in zip(utils, runs[:n])]
+    result.curves["LFS hot-and-cold"] = [(u, r.write_cost) for u, r in zip(utils, runs[n:])]
+    result.sim_steps = sum(r.total_steps for r in runs)
     return result
 
 
@@ -199,6 +216,7 @@ class DistributionResult:
 
     title: str
     distributions: dict[str, list[float]] = field(default_factory=dict)
+    sim_steps: int = 0  # total simulated steps behind the distributions
 
     def render(self) -> str:
         parts = [self.title]
@@ -208,49 +226,64 @@ class DistributionResult:
         return "\n".join(parts)
 
 
-def fig05_greedy_distributions(util: float = 0.75, *, fast: bool = False) -> DistributionResult:
+def fig05_greedy_distributions(
+    util: float = 0.75, *, fast: bool = False, workers: int | None = None
+) -> DistributionResult:
     """Figure 5: distributions seen by a greedy cleaner at 75% utilization."""
     result = DistributionResult(
         title="Figure 5 — segment utilization distributions, greedy cleaner"
     )
-    for name, pattern, grouping in (
-        ("uniform", UniformPattern(), GroupingPolicy.NONE),
-        ("hot-and-cold", HotColdPattern(), GroupingPolicy.AGE_SORT),
-    ):
-        sim = _sim(util, pattern, SelectionPolicy.GREEDY, grouping, fast=fast)
-        result.distributions[name] = sim.run().utilization_histogram
+    names_points = [
+        ("uniform", SweepPoint(_sim_config(util, SelectionPolicy.GREEDY, GroupingPolicy.NONE, fast=fast), "uniform")),
+        ("hot-and-cold", SweepPoint(_sim_config(util, SelectionPolicy.GREEDY, GroupingPolicy.AGE_SORT, fast=fast), "hot-cold")),
+    ]
+    runs = run_sweep([p for _, p in names_points], workers=workers)
+    for (name, _), r in zip(names_points, runs):
+        result.distributions[name] = r.utilization_histogram
+    result.sim_steps = sum(r.total_steps for r in runs)
     return result
 
 
-def fig06_costbenefit_distribution(util: float = 0.75, *, fast: bool = False) -> DistributionResult:
+def fig06_costbenefit_distribution(
+    util: float = 0.75, *, fast: bool = False, workers: int | None = None
+) -> DistributionResult:
     """Figure 6: the bimodal distribution produced by cost-benefit."""
     result = DistributionResult(
         title="Figure 6 — segment utilization distribution, cost-benefit policy"
     )
-    for name, selection in (
-        ("LFS cost-benefit", SelectionPolicy.COST_BENEFIT),
-        ("LFS greedy", SelectionPolicy.GREEDY),
-    ):
-        sim = _sim(util, HotColdPattern(), selection, GroupingPolicy.AGE_SORT, fast=fast)
-        result.distributions[name] = sim.run().utilization_histogram
+    names_points = [
+        ("LFS cost-benefit", SweepPoint(_sim_config(util, SelectionPolicy.COST_BENEFIT, GroupingPolicy.AGE_SORT, fast=fast), "hot-cold")),
+        ("LFS greedy", SweepPoint(_sim_config(util, SelectionPolicy.GREEDY, GroupingPolicy.AGE_SORT, fast=fast), "hot-cold")),
+    ]
+    runs = run_sweep([p for _, p in names_points], workers=workers)
+    for (name, _), r in zip(names_points, runs):
+        result.distributions[name] = r.utilization_histogram
+    result.sim_steps = sum(r.total_steps for r in runs)
     return result
 
 
 def fig07_costbenefit_writecost(
-    utils: tuple[float, ...] = DEFAULT_UTILS, *, fast: bool = False
+    utils: tuple[float, ...] = DEFAULT_UTILS,
+    *,
+    fast: bool = False,
+    workers: int | None = None,
 ) -> WriteCostCurves:
     """Figure 7: cost-benefit vs greedy under hot-and-cold access."""
     result = WriteCostCurves(
         title="Figure 7 — write cost including the cost-benefit policy"
     )
-    result.curves["LFS greedy"] = [
-        (u, _sim(u, HotColdPattern(), SelectionPolicy.GREEDY, GroupingPolicy.AGE_SORT, fast=fast).run().write_cost)
+    points = [
+        SweepPoint(_sim_config(u, SelectionPolicy.GREEDY, GroupingPolicy.AGE_SORT, fast=fast), "hot-cold")
+        for u in utils
+    ] + [
+        SweepPoint(_sim_config(u, SelectionPolicy.COST_BENEFIT, GroupingPolicy.AGE_SORT, fast=fast), "hot-cold")
         for u in utils
     ]
-    result.curves["LFS cost-benefit"] = [
-        (u, _sim(u, HotColdPattern(), SelectionPolicy.COST_BENEFIT, GroupingPolicy.AGE_SORT, fast=fast).run().write_cost)
-        for u in utils
-    ]
+    runs = run_sweep(points, workers=workers)
+    n = len(utils)
+    result.curves["LFS greedy"] = [(u, r.write_cost) for u, r in zip(utils, runs[:n])]
+    result.curves["LFS cost-benefit"] = [(u, r.write_cost) for u, r in zip(utils, runs[n:])]
+    result.sim_steps = sum(r.total_steps for r in runs)
     return result
 
 

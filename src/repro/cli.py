@@ -9,22 +9,36 @@ Usage (after ``pip install -e .``)::
     python -m repro stats demo.lfs
     python -m repro fsck demo.lfs
     python -m repro dump demo.lfs --segment 0
+    python -m repro sweep --utils 0.5,0.75,0.9 --workers 4 --json out.json
 
 Every mutating command mounts the image (running roll-forward if the
 image was not cleanly unmounted), performs the operation, checkpoints,
 and saves the image back — so images on disk are always recoverable.
+``sweep`` needs no image: it fans cleaning-simulator runs across a
+process pool and optionally records a machine-readable benchmark file.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from repro.analysis.ascii_chart import render_table
 from repro.core.config import LFSConfig
 from repro.core.filesystem import LFS
 from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
 from repro.disk.image import load_disk, save_disk
+from repro.simulator.model import SimConfig
+from repro.simulator.policies import GroupingPolicy, SelectionPolicy
+from repro.simulator.sweep import (
+    SweepPoint,
+    derive_point_seed,
+    record_bench,
+    resolve_workers,
+    run_sweep,
+)
 from repro.tools.dumplog import dump_checkpoints, dump_segment, dump_superblock
 from repro.tools.lfsck import check_filesystem
 
@@ -128,6 +142,78 @@ def cmd_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    utils = [float(u) for u in args.utils.split(",") if u]
+    selections = [SelectionPolicy(p) for p in args.policies.split(",") if p]
+    groupings = [GroupingPolicy(g) for g in args.grouping.split(",") if g]
+    patterns = [p for p in args.patterns.split(",") if p]
+
+    points: list[SweepPoint] = []
+    labels: list[tuple] = []
+    for util in utils:
+        for selection in selections:
+            for grouping in groupings:
+                for pattern in patterns:
+                    seed = derive_point_seed(
+                        args.seed, util, selection.value, grouping.value, pattern
+                    )
+                    cfg = SimConfig(
+                        num_segments=args.segments,
+                        blocks_per_segment=args.blocks,
+                        utilization=util,
+                        selection=selection,
+                        grouping=grouping,
+                        warmup_factor=args.warmup_factor,
+                        measure_factor=args.measure_factor,
+                        max_windows=args.max_windows,
+                        seed=seed,
+                    )
+                    points.append(SweepPoint(cfg, pattern))
+                    labels.append((util, selection.value, grouping.value, pattern))
+
+    workers = resolve_workers(args.workers, len(points))
+    t0 = time.perf_counter()
+    results = run_sweep(points, workers=workers)
+    wall = time.perf_counter() - t0
+
+    rows = [
+        [util, sel, grp, pat, f"{r.write_cost:.2f}", r.total_steps]
+        for (util, sel, grp, pat), r in zip(labels, results)
+    ]
+    steps = sum(r.total_steps for r in results)
+    print(
+        render_table(
+            ["util", "policy", "grouping", "pattern", "write cost", "steps"],
+            rows,
+            title=(
+                f"sweep — {len(points)} points, {workers} worker(s), "
+                f"{wall:.2f}s wall, {steps / wall:,.0f} steps/s"
+            ),
+        )
+    )
+    if args.json:
+        import pathlib
+
+        out = pathlib.Path(args.json)
+        path = record_bench(
+            args.bench_name,
+            wall_seconds=wall,
+            results_dir=out.parent if out.suffix else out,
+            workers=workers,
+            steps=steps,
+            write_costs={
+                f"{util}/{sel}/{grp}/{pat}": r.write_cost
+                for (util, sel, grp, pat), r in zip(labels, results)
+            },
+            extra={"points": len(points), "base_seed": args.seed},
+        )
+        if out.suffix:  # an explicit file name, not a directory
+            path.rename(out)
+            path = out
+        print(f"recorded {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +267,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--segment", type=int)
     p.add_argument("--checkpoints", action="store_true")
     p.set_defaults(func=cmd_dump)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a cleaning-simulator sweep across a process pool",
+        description=(
+            "Sweep the Section 3.5 cleaning simulator over utilization x "
+            "policy x grouping x pattern. Points run in parallel across a "
+            "process pool; per-point seeds derive deterministically from "
+            "--seed, so the same invocation always reproduces the same "
+            "write costs regardless of worker count."
+        ),
+    )
+    p.add_argument("--utils", default="0.2,0.4,0.6,0.75,0.8,0.9", help="comma-separated disk utilizations")
+    p.add_argument("--policies", default="greedy,cost-benefit", help="comma-separated selection policies")
+    p.add_argument("--grouping", default="age-sort", help="comma-separated grouping policies (none, age-sort)")
+    p.add_argument("--patterns", default="uniform,hot-cold", help="comma-separated access patterns (uniform, hot-cold, hot-cold:H/A)")
+    p.add_argument("--segments", type=int, default=100, help="segments on the simulated disk")
+    p.add_argument("--blocks", type=int, default=128, help="blocks per segment")
+    p.add_argument("--warmup-factor", type=float, default=8.0)
+    p.add_argument("--measure-factor", type=float, default=4.0)
+    p.add_argument("--max-windows", type=int, default=25)
+    p.add_argument("--seed", type=int, default=42, help="base seed; per-point seeds derive from it")
+    p.add_argument("--workers", type=int, default=None, help="process-pool size (default: $REPRO_SWEEP_WORKERS or cpu count)")
+    p.add_argument("--json", default=None, help="record a BENCH_*.json here (file or directory)")
+    p.add_argument("--bench-name", default="sweep", help="bench name used in the JSON record")
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 

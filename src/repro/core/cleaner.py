@@ -20,6 +20,7 @@ from repro.core.config import CleaningPolicy
 from repro.core.constants import BlockKind
 from repro.core.inode import unpack_inode_block
 from repro.core.summary import try_parse_summary
+from repro.victims import LazyVictimHeap, partial_sort
 
 
 @dataclass
@@ -56,6 +57,11 @@ class Cleaner:
     def __init__(self, fs) -> None:
         self.fs = fs
         self.stats = CleanerStats()
+        # Incremental victim selection: a lazy-invalidation heap keyed on
+        # clamped live bytes, synced from the usage table's score-dirty
+        # set before each selection instead of re-scanning and re-sorting
+        # every dirty segment per pass.
+        self._victims = LazyVictimHeap()
 
     # ------------------------------------------------------------------
     # policy
@@ -68,13 +74,56 @@ class Cleaner:
             if seg != fs.writer.current_segment and seg != fs.writer.next_segment
         ]
 
+    def _sync_victims(self) -> None:
+        """Fold usage-table changes since the last selection into the heap."""
+        fs = self.fs
+        usage = fs.usage
+        cap = usage.segment_bytes
+        for seg in usage.consume_score_dirty():
+            rec = usage.get(seg)
+            if rec.clean:
+                self._victims.remove(seg)
+            else:
+                # clamped so the ordering matches utilization() exactly,
+                # including segments over-accounted past capacity
+                self._victims.update(seg, min(rec.live_bytes, cap))
+
+    def _writer_excluded(self, seg: int) -> bool:
+        writer = self.fs.writer
+        return seg == writer.current_segment or seg == writer.next_segment
+
     def select_segments(self, count: int) -> list[int]:
         """Choose up to ``count`` segments to clean under the active policy.
 
         Totally empty segments are always taken first: reclaiming them
         costs no I/O at all (Section 3.4's u = 0 case), which is why the
         production systems in Table 2 show most cleaned segments empty.
+
+        Victim choice is bit-identical to
+        :meth:`select_segments_reference` (the legacy full-sort path,
+        kept as the oracle): empties sit at score zero, so the heap
+        surfaces them first; under greedy, heap order *is* utilization
+        order; under cost-benefit, whose age term moves with the clock
+        and cannot be cached, a top-``count`` partial selection replaces
+        the full sort.
         """
+        fs = self.fs
+        self._sync_victims()
+        victims = self._victims.select(count, exclude=self._writer_excluded)
+        if not victims:
+            return []
+        empty = [s for s in victims if fs.usage.get(s).live_bytes == 0]
+        if empty:
+            return empty
+        if fs.config.cleaning_policy == CleaningPolicy.GREEDY:
+            return victims
+        now = fs.disk.clock.now
+        return partial_sort(
+            self._candidates(), count, key=lambda s: -self._benefit_cost(s, now)
+        )
+
+    def select_segments_reference(self, count: int) -> list[int]:
+        """Reference oracle: the original full-scan, full-sort selection."""
         fs = self.fs
         candidates = self._candidates()
         if not candidates:

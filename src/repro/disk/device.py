@@ -36,8 +36,12 @@ class Disk:
         self.faults = CrashInjector()
         self._blocks: dict[int, bytes] = {}
         self._zero_block = bytes(self.geometry.block_size)
-        # Head parks "past" block -1 so the first access to block 0 is
-        # sequential from the start of the platter.
+        # ``_head`` is the address at which the *next* request would be
+        # sequential — one past the last block accessed (see _account).
+        # A fresh device parks the arm at the start of the platter
+        # (_head = 0), so the very first access to block 0 streams with
+        # no positioning cost, while the first access to any other block
+        # pays a full seek plus rotational latency.
         self._head = 0
 
     # ------------------------------------------------------------------

@@ -11,6 +11,13 @@ reproducing Figures 3 through 7.
 from repro.simulator.model import SimConfig, SimResult, Simulator
 from repro.simulator.patterns import AccessPattern, HotColdPattern, UniformPattern
 from repro.simulator.policies import GroupingPolicy, SelectionPolicy
+from repro.simulator.sweep import (
+    SweepPoint,
+    make_pattern,
+    parallel_map,
+    record_bench,
+    run_sweep,
+)
 from repro.simulator.writecost import (
     FFS_IMPROVED_WRITE_COST,
     FFS_TODAY_WRITE_COST,
@@ -27,6 +34,11 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "Simulator",
+    "SweepPoint",
     "UniformPattern",
     "lfs_write_cost",
+    "make_pattern",
+    "parallel_map",
+    "record_bench",
+    "run_sweep",
 ]

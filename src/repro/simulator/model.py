@@ -17,8 +17,14 @@ import random
 from dataclasses import dataclass, field
 
 from repro.simulator.patterns import AccessPattern, UniformPattern
-from repro.simulator.policies import GroupingPolicy, SelectionPolicy, rank
+from repro.simulator.policies import (
+    GroupingPolicy,
+    SelectionPolicy,
+    cost_benefit_key,
+    rank,
+)
 from repro.simulator.writecost import measured_write_cost
+from repro.victims import LazyVictimHeap, partial_sort
 
 
 @dataclass
@@ -54,6 +60,11 @@ class SimConfig:
         max_windows: hard cap on measurement windows. Hot-and-cold runs
             need many windows: the cold-segment free-space hoarding that
             drives Figure 5 develops over several cold-file lifetimes.
+        incremental: use the incremental victim-selection engine (a
+            lazy-invalidation heap for greedy, top-k partial selection
+            for cost-benefit). Victim choice is bit-identical to the
+            legacy full-scan/full-sort path, which remains available as
+            a reference oracle with ``incremental=False``.
     """
 
     num_segments: int = 100
@@ -69,6 +80,7 @@ class SimConfig:
     stable_tol: float = 0.04
     stable_windows: int = 2
     max_windows: int = 40
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.num_segments < 4 or self.blocks_per_segment < 1:
@@ -105,6 +117,7 @@ class SimResult:
     moved_blocks: int
     read_blocks: int
     segments_cleaned: int
+    total_steps: int = 0
     cleaned_utilizations: list[float] = field(repr=False, default_factory=list)
     utilization_histogram: list[float] = field(repr=False, default_factory=list)
 
@@ -132,7 +145,9 @@ class Simulator:
         self.seg_mtime = [0.0] * S
         self.seg_files: list[set[int]] = [set() for _ in range(S)]
         self.clean_segs = list(range(S - 1, -1, -1))  # stack, pop() -> seg 0 first
+        self.clean_set = set(self.clean_segs)  # O(1) membership, kept in sync
         self.cur_seg = self.clean_segs.pop()
+        self.clean_set.discard(self.cur_seg)
         self.cur_fill = 0
         self.out_seg = -1  # cleaner's output segment
         self.out_fill = 0
@@ -150,6 +165,14 @@ class Simulator:
         self.cleaned_utilizations: list[float] = []
         self.util_snapshots: list[float] = []
 
+        # Incremental victim selection: segments whose live count changed
+        # since the heap last saw them. The hot write path only records
+        # the segment number; scores are folded into the heap right
+        # before a selection, so a pass costs O(changed log S) instead of
+        # the legacy O(S log S) full re-sort.
+        self._victims = LazyVictimHeap()
+        self._score_dirty: set[int] = set(range(S))
+
         # initial layout: every file written once, in file order
         for f in range(config.num_files):
             self._append_new(f)
@@ -162,7 +185,9 @@ class Simulator:
             self._run_cleaner()
         if not self.clean_segs:
             raise RuntimeError("cleaner could not produce a clean segment")
-        return self.clean_segs.pop()
+        seg = self.clean_segs.pop()
+        self.clean_set.discard(seg)
+        return seg
 
     def _append_new(self, f: int) -> None:
         """Write file ``f`` at the head of the log."""
@@ -173,6 +198,7 @@ class Simulator:
         self.file_seg[f] = seg
         self.seg_live[seg] += 1
         self.seg_files[seg].add(f)
+        self._score_dirty.add(seg)
         if self.file_mtime[f] > self.seg_mtime[seg]:
             self.seg_mtime[seg] = self.file_mtime[f]
         self.cur_fill += 1
@@ -186,11 +212,13 @@ class Simulator:
             if not self.clean_segs:
                 raise RuntimeError("cleaner ran out of output segments")
             self.out_seg = self.clean_segs.pop()
+            self.clean_set.discard(self.out_seg)
             self.out_fill = 0
         seg = self.out_seg
         self.file_seg[f] = seg
         self.seg_live[seg] += 1
         self.seg_files[seg].add(f)
+        self._score_dirty.add(seg)
         if self.file_mtime[f] > self.seg_mtime[seg]:
             self.seg_mtime[seg] = self.file_mtime[f]
         self.out_fill += 1
@@ -206,6 +234,7 @@ class Simulator:
         if old >= 0:
             self.seg_live[old] -= 1
             self.seg_files[old].discard(f)
+            self._score_dirty.add(old)
         self.file_mtime[f] = float(self.step_no)
         self._append_new(f)
 
@@ -213,12 +242,70 @@ class Simulator:
     # cleaning
 
     def _candidates(self) -> list[int]:
-        clean = set(self.clean_segs)
+        # the clean set is maintained incrementally, not rebuilt per call
+        clean = self.clean_set
         return [
             s
             for s in range(self.config.num_segments)
             if s not in clean and s != self.cur_seg and s != self.out_seg
         ]
+
+    def _victim_excluded(self, seg: int) -> bool:
+        return seg in self.clean_set or seg == self.cur_seg or seg == self.out_seg
+
+    def _flush_victim_scores(self) -> None:
+        """Fold deferred live-count changes into the victim heap."""
+        update = self._victims.update
+        remove = self._victims.remove
+        live = self.seg_live
+        clean = self.clean_set
+        for seg in self._score_dirty:
+            if seg in clean:
+                remove(seg)
+            else:
+                update(seg, live[seg])
+        self._score_dirty.clear()
+
+    def _legacy_victims(self, count: int) -> list[int]:
+        """Reference oracle: the original full-scan, full-sort selection."""
+        candidates = self._candidates()
+        if not candidates:
+            return []
+        B = self.config.blocks_per_segment
+        ranked = rank(
+            self.config.selection,
+            candidates,
+            self,
+            float(self.step_no),
+            B,
+        )
+        # A fully live segment yields nothing: cleaning it is pure
+        # cost (benefit is zero under both policies), so never pick
+        # one while anything better exists.
+        ranked = [s for s in ranked if self.seg_live[s] < B]
+        return ranked[:count]
+
+    def _select_victims(self, count: int) -> list[int]:
+        """Pick the next ``count`` victims; bit-identical to the oracle.
+
+        Greedy scores depend only on live counts, so they live in a
+        persistent lazy-invalidation heap updated from the deferred
+        dirty set. Cost-benefit scores move with the clock and cannot be
+        cached across passes; they use top-k partial selection instead
+        of a full sort.
+        """
+        if not self.config.incremental:
+            return self._legacy_victims(count)
+        B = self.config.blocks_per_segment
+        if self.config.selection is SelectionPolicy.GREEDY:
+            self._flush_victim_scores()
+            return self._victims.select(
+                count, exclude=self._victim_excluded, stop_score=B
+            )
+        ratio = cost_benefit_key(self, float(self.step_no), B)
+        live = self.seg_live
+        candidates = [s for s in self._candidates() if live[s] < B]
+        return partial_sort(candidates, count, key=lambda s: -ratio(s))
 
     def _run_cleaner(self) -> None:
         """Clean until the threshold of clean segments is available."""
@@ -227,21 +314,7 @@ class Simulator:
             for s in self._candidates():
                 self.util_snapshots.append(self.seg_live[s] / B)
         while len(self.clean_segs) < self.config.clean_threshold:
-            candidates = self._candidates()
-            if not candidates:
-                break
-            ranked = rank(
-                self.config.selection,
-                candidates,
-                self,
-                float(self.step_no),
-                B,
-            )
-            # A fully live segment yields nothing: cleaning it is pure
-            # cost (benefit is zero under both policies), so never pick
-            # one while anything better exists.
-            ranked = [s for s in ranked if self.seg_live[s] < B]
-            victims = ranked[: self.config.segments_per_pass]
+            victims = self._select_victims(self.config.segments_per_pass)
             if not victims:
                 break  # everything left is fully live: no reclaimable space
             live_files: list[int] = []
@@ -258,6 +331,8 @@ class Simulator:
                 self.seg_files[v] = set()
                 self.seg_mtime[v] = 0.0
                 self.clean_segs.append(v)
+                self.clean_set.add(v)
+                self._score_dirty.add(v)
                 self.segments_cleaned += 1
             if self.config.grouping == GroupingPolicy.AGE_SORT:
                 live_files.sort(key=lambda f: self.file_mtime[f])
@@ -320,6 +395,7 @@ class Simulator:
             moved_blocks=self.m_moved,
             read_blocks=self.m_read,
             segments_cleaned=self.segments_cleaned,
+            total_steps=self.step_no,
             cleaned_utilizations=list(self.cleaned_utilizations),
             utilization_histogram=list(self.util_snapshots),
         )

@@ -42,14 +42,13 @@ def rank_greedy(candidates: Sequence[int], view: SegmentView) -> list[int]:
     return sorted(candidates, key=view.live_blocks)
 
 
-def rank_cost_benefit(
-    candidates: Sequence[int], view: SegmentView, now: float, blocks_per_segment: int
-) -> list[int]:
-    """Highest benefit-to-cost ratio first (Section 3.5).
+def cost_benefit_key(view: SegmentView, now: float, blocks_per_segment: int):
+    """The benefit-to-cost ratio as a scoring function (Section 3.5).
 
     benefit/cost = (1 - u) * age / (1 + u), with age taken from the most
-    recent modified time of any block in the segment. Cold segments thus
-    get cleaned at much higher utilizations than hot ones.
+    recent modified time of any block in the segment. Shared by the full
+    sort and the incremental top-k path so both compute bit-identical
+    floats.
     """
 
     def ratio(seg: int) -> float:
@@ -57,7 +56,19 @@ def rank_cost_benefit(
         age = max(0.0, now - view.segment_mtime(seg))
         return (1.0 - u) * age / (1.0 + u)
 
-    return sorted(candidates, key=ratio, reverse=True)
+    return ratio
+
+
+def rank_cost_benefit(
+    candidates: Sequence[int], view: SegmentView, now: float, blocks_per_segment: int
+) -> list[int]:
+    """Highest benefit-to-cost ratio first (Section 3.5).
+
+    Cold segments get cleaned at much higher utilizations than hot ones.
+    """
+    return sorted(
+        candidates, key=cost_benefit_key(view, now, blocks_per_segment), reverse=True
+    )
 
 
 def rank(

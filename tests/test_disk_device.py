@@ -56,6 +56,31 @@ class TestReadWrite:
         assert disk.clock.now == t
 
 
+class TestHeadParking:
+    """A fresh arm parks at the start of the platter (head = block 0)."""
+
+    def test_first_access_to_block_zero_is_sequential(self, disk):
+        disk.write_block(0, b"x")
+        # no seek, no rotational latency: pure streamed transfer
+        assert disk.clock.now == pytest.approx(4096 / disk.geometry.transfer_bandwidth)
+        assert disk.stats.seeks == 0
+
+    def test_first_access_elsewhere_pays_positioning(self, disk):
+        disk.write_block(7, b"x")
+        assert disk.clock.now > disk.geometry.rotation_time / 2
+        assert disk.stats.seeks == 1
+
+    def test_power_on_reparks_at_block_zero(self, disk):
+        disk.write_block(512, b"x")
+        disk.crash()
+        disk.power_on()
+        t0 = disk.clock.now
+        disk.read_block(0)
+        assert disk.clock.now - t0 == pytest.approx(
+            4096 / disk.geometry.transfer_bandwidth
+        )
+
+
 class TestTimeAccounting:
     def test_clock_advances_on_io(self, disk):
         t0 = disk.clock.now
