@@ -21,11 +21,13 @@ process pool and optionally records a machine-readable benchmark file.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.analysis.ascii_chart import render_table
 from repro.core.config import LFSConfig
+from repro.core.errors import CorruptionError
 from repro.core.filesystem import LFS
 from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
@@ -41,6 +43,8 @@ from repro.simulator.sweep import (
 )
 from repro.tools.dumplog import dump_checkpoints, dump_segment, dump_superblock
 from repro.tools.lfsck import check_filesystem
+from repro.torture import WORKLOADS, run_torture
+from repro.disk.faults import FAULT_MODES
 
 
 def _mount(image: str) -> tuple[Disk, LFS]:
@@ -123,9 +127,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
-    disk = load_disk(args.image)
+    """Offline check. Exit 0 = clean, 1 = inconsistencies, 2 = unreadable."""
+    try:
+        disk = load_disk(args.image)
+    except (OSError, ValueError, CorruptionError) as exc:
+        print(f"fsck: cannot read image {args.image}: {exc}", file=sys.stderr)
+        return 2
     report = check_filesystem(disk)
-    print(report.render())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
     return 0 if report.ok else 1
 
 
@@ -214,6 +226,84 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_torture(args: argparse.Namespace) -> int:
+    variants = tuple(v for v in args.variants.split(",") if v)
+    result = run_torture(
+        args.workload,
+        sample=args.sample,
+        seed=args.seed,
+        workers=args.workers,
+        variants=variants,
+        exhaustive=args.exhaustive,
+    )
+
+    per_variant: dict[str, dict[str, float]] = {}
+    for p in result.points:
+        stats = per_variant.setdefault(
+            p.variant, {"points": 0, "violations": 0, "recovery": 0.0}
+        )
+        stats["points"] += 1
+        stats["violations"] += len(p.violations)
+        stats["recovery"] += p.recovery_elapsed
+    rows = [
+        [
+            variant,
+            int(stats["points"]),
+            int(stats["violations"]),
+            f"{stats['recovery'] / stats['points']:.3f}s",
+        ]
+        for variant, stats in sorted(per_variant.items())
+    ]
+    print(
+        render_table(
+            ["variant", "points", "violations", "mean recovery"],
+            rows,
+            title=(
+                f"torture — {args.workload}, {len(result.points)}/"
+                f"{result.population} crash points, {result.workers} worker(s), "
+                f"{result.wall_seconds:.2f}s wall"
+            ),
+        )
+    )
+    print(
+        f"stream: {result.total_blocks} blocks; outcome digest "
+        f"{result.outcome_digest}; mean recovery "
+        f"{result.mean_recovery_seconds:.3f} simulated seconds"
+    )
+    for p in result.violations:
+        print(f"VIOLATION at cut={p.cut} variant={p.variant}:")
+        for msg in p.violations:
+            print(f"  {msg}")
+
+    if args.json:
+        import pathlib
+
+        out = pathlib.Path(args.json)
+        path = record_bench(
+            "torture",
+            wall_seconds=result.wall_seconds,
+            results_dir=out.parent if out.suffix else out,
+            workers=result.workers,
+            steps=len(result.points),
+            extra={
+                "workload": args.workload,
+                "base_seed": args.seed,
+                "sample": len(result.points),
+                "population": result.population,
+                "total_blocks": result.total_blocks,
+                "variants": list(variants),
+                "violations": result.violation_count,
+                "mean_recovery_seconds": round(result.mean_recovery_seconds, 6),
+                "outcome_digest": result.outcome_digest,
+            },
+        )
+        if out.suffix:  # an explicit file name, not a directory
+            path.rename(out)
+            path = out
+        print(f"recorded {path}")
+    return 1 if result.violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -258,8 +348,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("image")
     p.set_defaults(func=cmd_stats)
 
-    p = sub.add_parser("fsck", help="offline integrity check")
+    p = sub.add_parser(
+        "fsck",
+        help="offline integrity check",
+        description=(
+            "Check an image without mounting it. Exit status: 0 clean, "
+            "1 inconsistencies found, 2 image unreadable — so scripts and "
+            "CI can shell out and branch on the result."
+        ),
+    )
     p.add_argument("image")
+    p.add_argument("--json", action="store_true", help="print the report as JSON")
     p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("dump", help="inspect on-disk structures")
@@ -293,6 +392,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="record a BENCH_*.json here (file or directory)")
     p.add_argument("--bench-name", default="sweep", help="bench name used in the JSON record")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "torture",
+        help="crash-consistency torture: explore crash points in parallel",
+        description=(
+            "Record a workload's write stream once, then replay it to many "
+            "crash points (clean cuts, torn blocks, reordered requests), "
+            "run recovery at each, and verify the recovered namespace "
+            "against a durability oracle plus a full lfsck. Deterministic: "
+            "the same --seed explores the same points with the same faults "
+            "at any worker count. Exit 1 on any oracle violation."
+        ),
+    )
+    p.add_argument("--workload", default="smallfile", choices=WORKLOADS)
+    p.add_argument("--sample", type=int, default=200, help="crash points to draw (population = cuts x variants)")
+    p.add_argument("--exhaustive", action="store_true", help="explore every crash point, ignoring --sample")
+    p.add_argument("--variants", default=",".join(FAULT_MODES), help="comma-separated fault modes to explore")
+    p.add_argument("--seed", type=int, default=0, help="base seed; sample and per-point fault seeds derive from it")
+    p.add_argument("--workers", type=int, default=None, help="process-pool size (default: $REPRO_SWEEP_WORKERS or cpu count)")
+    p.add_argument("--json", default="benchmarks/results", help="record BENCH_torture.json here (file or directory; '' disables)")
+    p.set_defaults(func=cmd_torture)
 
     return parser
 

@@ -6,6 +6,14 @@ regions at fixed positions; checkpoints alternate between them, and the
 checkpoint timestamp lives in the *last* block of the region — so a crash
 in the middle of a checkpoint write leaves a stale timestamp and the other
 (older but complete) region wins at reboot, exactly as in the paper.
+
+The trailer also carries a CRC over every other block of the region.
+Trailer-last alone only survives a *prefix-durable* power cut; a drive
+that commits a queued request out of order could persist the trailer
+while leaving stale address blocks from two checkpoints ago, yielding a
+region that looks complete but points into reused segments. The CRC makes
+any torn or reordered mix self-invalidating, so the older complete region
+still wins.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.core.blocks import pack_addr_list, require, unpack_addr_list
+from repro.core.blocks import checksum, pack_addr_list, require, unpack_addr_list
 from repro.core.config import DiskLayout
 from repro.core.constants import CHECKPOINT_MAGIC
 from repro.core.errors import CorruptionError
@@ -22,8 +30,8 @@ from repro.disk.device import Disk
 # header: magic, pad, checkpoint seq, log seq, tail segment, tail offset,
 # reserved next segment, next inum hint, n_imap_blocks, n_usage_blocks
 _HEADER = struct.Struct("<I4xQQQQQQQQ")
-# trailer: magic, pad, checkpoint seq, timestamp
-_TRAILER = struct.Struct("<I4xQd")
+# trailer: magic, pad, checkpoint seq, timestamp, CRC of blocks[:-1]
+_TRAILER = struct.Struct("<I4xQdI")
 
 
 @dataclass
@@ -58,9 +66,10 @@ class Checkpoint:
 def write_checkpoint(disk: Disk, layout: DiskLayout, cp: Checkpoint, *, region_b: bool) -> None:
     """Write a checkpoint into region A or B as one streamed request.
 
-    The trailer (timestamp) block is last in the request; with a
-    prefix-durable device a torn write can never produce a region whose
-    trailer matches its header.
+    The trailer (timestamp + region CRC) block is last in the request:
+    a torn write leaves a stale trailer, and a reordered one leaves a
+    trailer whose CRC disowns the stale blocks around it. Either way the
+    region reads back invalid and the other region wins.
     """
     block_size = disk.geometry.block_size
     header = _HEADER.pack(
@@ -75,18 +84,20 @@ def write_checkpoint(disk: Disk, layout: DiskLayout, cp: Checkpoint, *, region_b
         len(cp.usage_addrs),
     ).ljust(block_size, b"\0")
     addr_blocks = pack_addr_list(cp.imap_addrs + cp.usage_addrs, block_size)
-    trailer = _TRAILER.pack(CHECKPOINT_MAGIC, cp.seq, cp.timestamp).ljust(block_size, b"\0")
-    blocks = [header] + addr_blocks + [trailer]
-    if len(blocks) > layout.checkpoint_blocks:
+    body = [header] + addr_blocks
+    if len(body) + 1 > layout.checkpoint_blocks:
         raise CorruptionError(
-            f"checkpoint needs {len(blocks)} blocks but the region has "
+            f"checkpoint needs {len(body) + 1} blocks but the region has "
             f"{layout.checkpoint_blocks}"
         )
     # Pad so the trailer always sits in the region's last block.
-    while len(blocks) < layout.checkpoint_blocks:
-        blocks.insert(-1, bytes(block_size))
+    while len(body) + 1 < layout.checkpoint_blocks:
+        body.append(bytes(block_size))
+    trailer = _TRAILER.pack(
+        CHECKPOINT_MAGIC, cp.seq, cp.timestamp, checksum(body)
+    ).ljust(block_size, b"\0")
     start = layout.checkpoint_b if region_b else layout.checkpoint_a
-    disk.write_blocks(start, blocks)
+    disk.write_blocks(start, body + [trailer])
 
 
 def read_checkpoint(disk: Disk, layout: DiskLayout, *, region_b: bool) -> Checkpoint:
@@ -113,11 +124,15 @@ def read_checkpoint(disk: Disk, layout: DiskLayout, *, region_b: bool) -> Checkp
     require(magic == CHECKPOINT_MAGIC, "bad checkpoint header magic")
 
     trailer = blocks[-1]
-    t_magic, t_seq, timestamp = _TRAILER.unpack_from(trailer, 0)
+    t_magic, t_seq, timestamp, t_crc = _TRAILER.unpack_from(trailer, 0)
     require(t_magic == CHECKPOINT_MAGIC, "bad checkpoint trailer magic")
     require(
         t_seq == seq,
         f"torn checkpoint: header seq {seq} but trailer seq {t_seq}",
+    )
+    require(
+        t_crc == checksum(blocks[:-1]),
+        "torn or reordered checkpoint: region contents fail the trailer CRC",
     )
 
     addrs = unpack_addr_list(blocks[1:-1], n_imap + n_usage, disk.geometry.block_size)

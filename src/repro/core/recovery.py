@@ -36,6 +36,7 @@ class RecoveryReport:
     """What a roll-forward pass found and fixed."""
 
     partial_writes_replayed: int = 0
+    torn_writes_dropped: int = 0
     inodes_recovered: int = 0
     blocks_recovered: int = 0
     dirops_applied: int = 0
@@ -122,6 +123,7 @@ def _collect_partial_writes(fs, cp: Checkpoint, report: RecoveryReport) -> list[
         )
         if not last.summary.verify(full):
             writes.pop()  # torn by the crash: the log ends one write earlier
+            report.torn_writes_dropped += 1
     return writes
 
 

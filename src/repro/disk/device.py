@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.errors import DiskRangeError
-from repro.disk.faults import CrashInjector
+from repro.disk.faults import CrashInjector, DiskCrashed
 from repro.disk.geometry import DiskGeometry
 from repro.disk.timing import IOStats, SimClock
 
@@ -106,14 +106,14 @@ class Disk:
         when the address is adjacent).
         """
         self._check_range(addr)
-        self.faults.check_read()
+        self.faults.check_read(addr)
         self._account(addr, 1, write=False, force_latency=force_latency)
         return self._blocks.get(addr, self._zero_block)
 
     def read_blocks(self, addr: int, count: int) -> list[bytes]:
         """Read ``count`` contiguous blocks as one streamed request."""
         self._check_range(addr, count)
-        self.faults.check_read()
+        self.faults.check_read(addr)
         self._account(addr, count, write=False)
         return [self._blocks.get(addr + i, self._zero_block) for i in range(count)]
 
@@ -124,25 +124,43 @@ class Disk:
         """
         self._check_range(addr)
         data = self._check_payload(data)
-        self.faults.check_write()
+        self._persist(addr, data)
         self._account(addr, 1, write=True, force_latency=force_latency)
-        self._blocks[addr] = data
+
+    def _persist(self, addr: int, payload: bytes) -> None:
+        """Store one block, honoring the crash injector's verdict.
+
+        If the injector trips on this block, a torn-mode crash still
+        persists a partial payload before the exception propagates.
+        """
+        try:
+            self.faults.check_write(addr)
+        except DiskCrashed:
+            torn = self.faults.torn_payload(
+                payload, self._blocks.get(addr, self._zero_block)
+            )
+            if torn is not None:
+                self._blocks[addr] = torn
+            raise
+        self._blocks[addr] = payload
 
     def write_blocks(self, addr: int, blocks: Sequence[bytes]) -> None:
         """Write contiguous blocks as one streamed request.
 
         Under crash injection the request may persist a durable *prefix*
         and then raise — mirroring a power cut in the middle of a large
-        sequential transfer.
+        sequential transfer. In the injector's ``reorder`` mode the
+        queued blocks persist in a seeded order instead, so the durable
+        part is an arbitrary subset; in ``torn`` mode the dying block
+        keeps a partial payload.
         """
         if not blocks:
             raise DiskRangeError("empty multi-block write")
         self._check_range(addr, len(blocks))
         payloads = [self._check_payload(b) for b in blocks]
         self._account(addr, len(payloads), write=True)
-        for i, payload in enumerate(payloads):
-            self.faults.check_write()
-            self._blocks[addr + i] = payload
+        for i in self.faults.request_order(len(payloads)):
+            self._persist(addr + i, payloads[i])
 
     # ------------------------------------------------------------------
     # inspection / lifecycle
@@ -156,12 +174,19 @@ class Disk:
         """Addresses of every block that has ever been written."""
         return self._blocks.keys()
 
-    def crash(self, *, after_writes: int | None = None) -> None:
-        """Cut power now, or arm a cut after ``after_writes`` more writes."""
+    def crash(
+        self, *, after_writes: int | None = None, mode: str = "clean", seed: int = 0
+    ) -> None:
+        """Cut power now, or arm a cut after ``after_writes`` more writes.
+
+        ``mode``/``seed`` select the dying write's behavior (see
+        :meth:`CrashInjector.arm_after_writes`): a clean cut, a torn
+        block, or seeded reordering of queued requests.
+        """
         if after_writes is None:
             self.faults.force_crash()
         else:
-            self.faults.arm_after_writes(after_writes)
+            self.faults.arm_after_writes(after_writes, mode=mode, seed=seed)
 
     def power_on(self) -> None:
         """Bring a crashed device back; contents persist, head resets."""

@@ -1,4 +1,4 @@
-"""Deterministic crash injection for recovery experiments.
+"""Deterministic fault injection for recovery experiments.
 
 The paper's recovery guarantees are defined entirely by what is durable on
 disk when the machine dies. ``CrashInjector`` lets a test cut the write
@@ -6,15 +6,48 @@ stream after an exact number of block writes — mid-checkpoint, mid-segment,
 wherever — after which the device refuses all traffic until it is
 "powered on" again. Because the file system must then re-mount purely from
 on-disk bytes, this exercises the real recovery path.
+
+Beyond the clean power cut, two failure modes real disks exhibit are
+modelled (both seeded, so every fault is reproducible):
+
+* **torn writes** — the block that trips the crash persists only a prefix
+  of its new contents, the rest keeping whatever was on disk before;
+* **reordered writes** — the blocks of a queued multi-block request may
+  persist in any order, so the crash leaves an arbitrary *subset* of the
+  request durable rather than a prefix. Request boundaries act as write
+  barriers (the simulated device completes each request before the next
+  is issued), matching how the checkpoint scheme of Section 4.1 expects
+  ordering to be enforced.
 """
 
 from __future__ import annotations
 
+import random
+
 from repro.core.errors import LFSError
+
+#: Supported fault modes for :meth:`CrashInjector.arm_after_writes`.
+FAULT_MODES = ("clean", "torn", "reorder")
 
 
 class DiskCrashed(LFSError):
-    """Raised when a request reaches a disk whose power has been cut."""
+    """Raised when a request reaches a disk whose power has been cut.
+
+    Carries the failing block address and operation so a crash deep in a
+    torture sweep can be triaged from the message alone.
+
+    Attributes:
+        addr: block address of the request that failed (None if unknown,
+            e.g. a forced crash with no request in flight).
+        op: ``"read"`` or ``"write"`` (None if unknown).
+    """
+
+    def __init__(self, message: str, *, addr: int | None = None, op: str | None = None):
+        if addr is not None and op is not None:
+            message = f"{message} [{op} of block {addr}]"
+        super().__init__(message)
+        self.addr = addr
+        self.op = op
 
 
 class CrashInjector:
@@ -22,13 +55,17 @@ class CrashInjector:
 
     A count of ``n`` means the next ``n`` block writes succeed and are
     durable; the write of block ``n + 1`` (and everything after it) raises
-    :class:`DiskCrashed` without persisting anything. Reads also fail once
-    the crash has fired, matching a powered-off device.
+    :class:`DiskCrashed` without persisting anything — except under the
+    ``torn`` mode, where the tripping block persists a partial payload.
+    Reads also fail once the crash has fired, matching a powered-off
+    device.
     """
 
     def __init__(self) -> None:
         self._writes_remaining: int | None = None
         self._crashed = False
+        self._mode = "clean"
+        self._rng: random.Random | None = None
 
     @property
     def crashed(self) -> bool:
@@ -40,12 +77,27 @@ class CrashInjector:
         """True while a countdown is pending."""
         return self._writes_remaining is not None and not self._crashed
 
-    def arm_after_writes(self, count: int) -> None:
-        """Allow ``count`` more block writes, then crash."""
+    @property
+    def mode(self) -> str:
+        """The active fault mode (``clean``, ``torn``, or ``reorder``)."""
+        return self._mode
+
+    def arm_after_writes(self, count: int, *, mode: str = "clean", seed: int = 0) -> None:
+        """Allow ``count`` more block writes, then crash.
+
+        ``mode`` selects what the dying write does: ``"clean"`` persists
+        nothing, ``"torn"`` persists a seeded prefix of the payload, and
+        ``"reorder"`` persists queued multi-block requests in a seeded
+        order so the crash strands an arbitrary subset of the request.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
+        if mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r} (want one of {FAULT_MODES})")
         self._writes_remaining = count
         self._crashed = False
+        self._mode = mode
+        self._rng = random.Random(seed) if mode != "clean" else None
 
     def force_crash(self) -> None:
         """Cut power immediately."""
@@ -56,20 +108,45 @@ class CrashInjector:
         """Restore the device after a crash; disarms any countdown."""
         self._crashed = False
         self._writes_remaining = None
+        self._mode = "clean"
+        self._rng = None
 
-    def check_read(self) -> None:
+    def request_order(self, nblocks: int) -> list[int]:
+        """Order in which a queued multi-block request's blocks persist.
+
+        Identity except under ``reorder`` with a crash pending — once a
+        request persists completely, the order it happened in is
+        unobservable, so a healthy drive's reordering needs no modelling.
+        """
+        order = list(range(nblocks))
+        if self._mode == "reorder" and self.armed and self._rng is not None and nblocks > 1:
+            self._rng.shuffle(order)
+        return order
+
+    def torn_payload(self, new: bytes, old: bytes) -> bytes | None:
+        """Partial persistence for the block that tripped the crash.
+
+        Returns a seeded splice of ``new``'s prefix over ``old``'s tail
+        under the ``torn`` mode, or None (persist nothing) otherwise.
+        """
+        if self._mode != "torn" or self._rng is None or len(new) < 2:
+            return None
+        cut = self._rng.randrange(1, len(new))
+        return new[:cut] + old[cut:]
+
+    def check_read(self, addr: int | None = None) -> None:
         """Raise if a read arrives while the device is down."""
         if self._crashed:
-            raise DiskCrashed("read issued to a crashed disk")
+            raise DiskCrashed("read issued to a crashed disk", addr=addr, op="read")
 
-    def check_write(self) -> None:
+    def check_write(self, addr: int | None = None) -> None:
         """Account one block write; raise if it must not persist."""
         if self._crashed:
-            raise DiskCrashed("write issued to a crashed disk")
+            raise DiskCrashed("write issued to a crashed disk", addr=addr, op="write")
         if self._writes_remaining is None:
             return
         if self._writes_remaining == 0:
             self._crashed = True
             self._writes_remaining = None
-            raise DiskCrashed("injected crash: write limit reached")
+            raise DiskCrashed("injected crash: write limit reached", addr=addr, op="write")
         self._writes_remaining -= 1

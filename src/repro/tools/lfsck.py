@@ -51,6 +51,17 @@ class CheckReport:
     def warn(self, message: str) -> None:
         self.warnings.append(message)
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (``repro fsck --json``, CI, torture runs)."""
+        return {
+            "ok": self.ok,
+            "errors": list(self.errors),
+            "warnings": list(self.warnings),
+            "live_inodes": self.live_inodes,
+            "live_blocks": self.live_blocks,
+            "checkpoint_seq": self.checkpoint_seq,
+        }
+
     def render(self) -> str:
         lines = [
             f"lfsck: {'clean' if self.ok else 'CORRUPT'} "

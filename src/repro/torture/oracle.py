@@ -1,0 +1,269 @@
+"""The durability oracle: what recovery must keep and what it may lose.
+
+The paper's recovery contract (Section 4) splits every byte of state into
+two classes at the moment of a crash:
+
+* **guaranteed durable** — everything the file system had confirmed at the
+  last completed durability barrier (a ``sync``, ``checkpoint``, or
+  ``unmount`` that returned before the crash point). Recovery must
+  reproduce this state exactly: checkpointed state comes back via the
+  checkpoint region, synced-but-not-checkpointed state via roll-forward.
+* **legally losable** — operations issued after that barrier. They lived
+  (at least partly) in the write-back cache, so recovery may surface the
+  pre-barrier state, the post-operation state, or any intermediate
+  operation boundary — but never bytes that were *never* the file's
+  content, and never files that were never created.
+
+``ModelFS`` shadows the real file system at the operation level (paths,
+hard-link identity, whole-file contents), and :func:`crash_state_bounds`
+turns a recorded operation log plus a crash point into the two bounds.
+:func:`verify_recovered` then flags any recovered image that violates
+either bound — lost durable data, resurrected deletes older than the
+barrier, fabricated contents, or phantom files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Marker value for a directory in model views (file contents are bytes,
+#: so the types can never collide).
+DIR = "<dir>"
+
+#: Marker for "path does not exist" in acceptable-state sets.
+ABSENT = None
+
+
+@dataclass
+class OpRecord:
+    """One recorded file-system operation.
+
+    ``start_blocks`` is the device's cumulative block-write count when the
+    operation began: a crash that persists ``c`` blocks can only have been
+    influenced by operations with ``start_blocks < c`` (anything later had
+    not issued its first write yet).
+    """
+
+    kind: str  # mkdir | write | append | update | unlink | rename | link | sync | checkpoint | clean
+    path: str = ""
+    path2: str = ""
+    data: bytes = b""
+    offset: int = 0
+    start_blocks: int = 0
+
+
+@dataclass
+class Barrier:
+    """A completed durability point in the recorded stream.
+
+    Everything the model held when the device had persisted
+    ``blocks`` writes is guaranteed to survive any crash at or past that
+    count.
+    """
+
+    op_index: int  # index of the sync/checkpoint op (-1 = the format itself)
+    blocks: int  # device block-write count when the barrier completed
+    paths: dict[str, int] = field(default_factory=dict)
+    files: dict[int, object] = field(default_factory=dict)
+
+
+class ModelFS:
+    """An operation-level shadow of the real file system.
+
+    Paths map to file identities so hard links alias correctly; file
+    identities map to whole contents (or the :data:`DIR` marker). The
+    model is deliberately simple — the torture workloads only use
+    operations it can mirror exactly.
+    """
+
+    def __init__(self) -> None:
+        self.paths: dict[str, int] = {"/": 0}
+        self.files: dict[int, object] = {0: DIR}
+        self._next_id = 1
+
+    @classmethod
+    def from_barrier(cls, barrier: Barrier) -> "ModelFS":
+        model = cls()
+        model.paths = dict(barrier.paths)
+        model.files = dict(barrier.files)
+        model._next_id = max(model.files, default=0) + 1
+        return model
+
+    def snapshot(self, op_index: int, blocks: int) -> Barrier:
+        return Barrier(
+            op_index=op_index,
+            blocks=blocks,
+            paths=dict(self.paths),
+            files=dict(self.files),
+        )
+
+    def view(self) -> dict[str, object]:
+        """The namespace as ``path -> contents-or-DIR``."""
+        return {p: self.files[i] for p, i in self.paths.items()}
+
+    def contents(self, path: str) -> object:
+        return self.files[self.paths[path]]
+
+    def _aliases(self, fid: int) -> list[str]:
+        return [p for p, i in self.paths.items() if i == fid]
+
+    def apply(self, op: OpRecord) -> list[str]:
+        """Apply one operation; returns every path whose view changed.
+
+        A write through one name of a hard-linked file changes the
+        contents seen through every other name, so all aliases count as
+        touched.
+        """
+        kind = op.kind
+        if kind == "mkdir":
+            fid = self._next_id
+            self._next_id += 1
+            self.files[fid] = DIR
+            self.paths[op.path] = fid
+            return [op.path]
+        if kind in ("write", "append", "update"):
+            fid = self.paths.get(op.path)
+            if fid is None:
+                fid = self._next_id
+                self._next_id += 1
+                self.files[fid] = b""
+                self.paths[op.path] = fid
+            old = self.files[fid]
+            if kind == "write":
+                new = op.data
+            elif kind == "append":
+                new = old + op.data
+            else:  # update: overwrite at offset, zero-extending a short file
+                base = old
+                if len(base) < op.offset:
+                    base = base + bytes(op.offset - len(base))
+                new = base[: op.offset] + op.data + base[op.offset + len(op.data) :]
+            self.files[fid] = new
+            return self._aliases(fid)
+        if kind == "unlink":
+            del self.paths[op.path]
+            return [op.path]
+        if kind == "rename":
+            fid = self.paths.pop(op.path)
+            self.paths[op.path2] = fid
+            return [op.path, op.path2]
+        if kind == "link":
+            self.paths[op.path2] = self.paths[op.path]
+            return [op.path2]
+        if kind in ("sync", "checkpoint", "clean"):
+            return []
+        raise ValueError(f"unknown op kind {kind!r}")
+
+
+def crash_state_bounds(
+    ops: list[OpRecord], barriers: list[Barrier], cut_blocks: int
+) -> tuple[dict[str, object], dict[str, set], set[str]]:
+    """Durability bounds for a crash that persisted ``cut_blocks`` writes.
+
+    Returns ``(guaranteed, acceptable, touched)``:
+
+    * ``guaranteed`` — the namespace at the last barrier whose writes all
+      fall inside the persisted prefix; paths *not* in ``touched`` must
+      come back exactly like this.
+    * ``acceptable`` — per path, every value recovery may legally surface
+      (the guaranteed value plus each post-barrier operation boundary;
+      :data:`ABSENT` where a disappearance is legal).
+    * ``touched`` — paths some possibly-persisted post-barrier operation
+      affected.
+    """
+    barrier = barriers[0]
+    for b in barriers:
+        if b.blocks <= cut_blocks:
+            barrier = b
+        else:
+            break
+    model = ModelFS.from_barrier(barrier)
+    guaranteed = model.view()
+    acceptable: dict[str, set] = {p: {v} for p, v in guaranteed.items()}
+    touched: set[str] = set()
+    for op in ops[barrier.op_index + 1 :]:
+        if op.start_blocks >= cut_blocks:
+            break
+        for path in model.apply(op):
+            touched.add(path)
+            current = (
+                model.contents(path) if path in model.paths else ABSENT
+            )
+            acceptable.setdefault(path, set()).add(current)
+    return guaranteed, acceptable, touched
+
+
+def verify_recovered(
+    recovered: dict[str, object],
+    guaranteed: dict[str, object],
+    acceptable: dict[str, set],
+    touched: set[str],
+) -> list[str]:
+    """Check a recovered namespace against the oracle's bounds.
+
+    Returns violation messages (empty = the recovery honored both the
+    must-survive and may-be-lost bounds).
+    """
+
+    def show(value: object) -> str:
+        if value is ABSENT:
+            return "<absent>"
+        if value == DIR:
+            return "<dir>"
+        assert isinstance(value, bytes)
+        head = value[:16]
+        return f"{len(value)} bytes {head!r}{'...' if len(value) > 16 else ''}"
+
+    violations: list[str] = []
+    for path, must in guaranteed.items():
+        got = recovered.get(path, ABSENT)
+        if path not in touched:
+            if got is ABSENT:
+                violations.append(f"durable {path} lost (was {show(must)})")
+            elif got != must:
+                violations.append(
+                    f"durable {path} corrupted: expected {show(must)}, got {show(got)}"
+                )
+        else:
+            allowed = acceptable.get(path, {must})
+            if got is ABSENT and ABSENT not in allowed:
+                violations.append(
+                    f"{path} lost but no post-barrier operation removed it"
+                )
+            elif got is not ABSENT and got not in allowed:
+                violations.append(
+                    f"{path} holds {show(got)}, which was never an operation "
+                    f"boundary state"
+                )
+    for path, allowed in acceptable.items():
+        if path in guaranteed:
+            continue  # already checked above
+        got = recovered.get(path, ABSENT)
+        # Created after the barrier: losing it is legal, but surfacing a
+        # value it never held is not.
+        if got is not ABSENT and got not in allowed:
+            violations.append(
+                f"post-barrier {path} holds {show(got)}, never a real state"
+            )
+    known = set(guaranteed) | set(acceptable)
+    for path in recovered:
+        if path not in known:
+            violations.append(f"phantom path {path} surfaced by recovery")
+    return violations
+
+
+def snapshot_namespace(fs) -> dict[str, object]:
+    """Walk a mounted file system into ``path -> contents-or-DIR``."""
+    out: dict[str, object] = {"/": DIR}
+
+    def walk(path: str) -> None:
+        for name in fs.readdir(path):
+            child = (path.rstrip("/") or "") + "/" + name
+            if fs.stat(child).is_directory:
+                out[child] = DIR
+                walk(child)
+            else:
+                out[child] = fs.read(child)
+
+    walk("/")
+    return out

@@ -1,0 +1,185 @@
+"""Recording a workload's block-write stream for crash replay.
+
+A torture run executes its workload exactly once, on a ``RecordingDisk``
+that remembers every write request the file system issued (in order, with
+full payloads). Replaying a prefix of that request stream onto a copy of
+the freshly formatted image reproduces the device bit-for-bit as it stood
+at any point during the run — so thousands of crash points can be explored
+in parallel without re-running the workload, and every worker sees the
+identical stream regardless of scheduling.
+
+Alongside the request stream the recorder keeps the operation log for the
+durability oracle: each file-system call is mirrored into a
+:class:`~repro.torture.oracle.ModelFS`, tagged with the block-write count
+at which it started, and every completed ``sync``/``checkpoint`` snapshots
+the model as a durability barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LFSConfig
+from repro.core.filesystem import LFS
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.timing import SimClock
+from repro.torture.oracle import Barrier, ModelFS, OpRecord
+
+
+class RecordingDisk(Disk):
+    """A :class:`Disk` that logs every write request once recording starts.
+
+    Each request is stored as ``(addr, payloads)`` with payloads already
+    padded to the block size; ``blocks_logged`` counts individual blocks,
+    which is the unit crash points are expressed in.
+    """
+
+    def __init__(self, geometry: DiskGeometry | None = None, *, clock: SimClock | None = None):
+        super().__init__(geometry, clock=clock)
+        self.recording = False
+        self.requests: list[tuple[int, tuple[bytes, ...]]] = []
+        self.blocks_logged = 0
+
+    def write_block(self, addr: int, data: bytes, *, force_latency: bool = False) -> None:
+        super().write_block(addr, data, force_latency=force_latency)
+        if self.recording:
+            self.requests.append((addr, (self._blocks[addr],)))
+            self.blocks_logged += 1
+
+    def write_blocks(self, addr: int, blocks) -> None:
+        super().write_blocks(addr, blocks)
+        if self.recording:
+            payloads = tuple(self._blocks[addr + i] for i in range(len(blocks)))
+            self.requests.append((addr, payloads))
+            self.blocks_logged += len(payloads)
+
+
+@dataclass
+class Recording:
+    """Everything a replay worker needs, in one picklable bundle.
+
+    ``base_blocks``/``base_clock`` capture the device right after
+    ``LFS.format`` (before recording starts); ``requests`` is the write
+    stream issued after that; ``total_blocks`` is the stream's length in
+    blocks, so crash cuts range over ``0..total_blocks`` inclusive
+    (``total_blocks`` = no crash).
+    """
+
+    geometry: DiskGeometry
+    config: LFSConfig
+    base_blocks: dict[int, bytes]
+    base_clock: float
+    requests: list[tuple[int, tuple[bytes, ...]]]
+    total_blocks: int
+    ops: list[OpRecord] = field(default_factory=list)
+    barriers: list[Barrier] = field(default_factory=list)
+    workload: str = ""
+    seed: int = 0
+
+    def fresh_disk(self) -> Disk:
+        """A device restored to the post-format image, clock included."""
+        disk = Disk(self.geometry, clock=SimClock(self.base_clock))
+        disk._blocks = dict(self.base_blocks)
+        return disk
+
+
+class TortureRecorder:
+    """Drives a workload against the real FS and the oracle model in step."""
+
+    def __init__(self, config: LFSConfig, geometry: DiskGeometry, *, workload: str, seed: int):
+        self.disk = RecordingDisk(geometry)
+        self.fs = LFS.format(self.disk, config)
+        self.model = ModelFS()
+        self.ops: list[OpRecord] = []
+        self.barriers: list[Barrier] = []
+        self._config = config
+        self._workload = workload
+        self._seed = seed
+        # The formatted image itself is the first durability barrier: an
+        # immediate crash must recover the empty root.
+        self._base_blocks = dict(self.disk._blocks)
+        self._base_clock = self.disk.clock.now
+        self.disk.recording = True
+        self.barriers.append(self.model.snapshot(-1, 0))
+
+    # -- mirrored operations -------------------------------------------
+    def _record(self, op: OpRecord) -> OpRecord:
+        op.start_blocks = self.disk.blocks_logged
+        self.ops.append(op)
+        return op
+
+    def mkdir(self, path: str) -> None:
+        self._record(OpRecord("mkdir", path=path))
+        self.fs.mkdir(path)
+        self.model.apply(self.ops[-1])
+
+    def write(self, path: str, data: bytes) -> None:
+        self._record(OpRecord("write", path=path, data=data))
+        self.fs.write_file(path, data)
+        self.model.apply(self.ops[-1])
+
+    def append(self, path: str, data: bytes) -> None:
+        self._record(OpRecord("append", path=path, data=data))
+        self.fs.append(path, data)
+        self.model.apply(self.ops[-1])
+
+    def update(self, path: str, data: bytes, offset: int) -> None:
+        self._record(OpRecord("update", path=path, data=data, offset=offset))
+        self.fs.write(path, data, offset)
+        self.model.apply(self.ops[-1])
+
+    def unlink(self, path: str) -> None:
+        self._record(OpRecord("unlink", path=path))
+        self.fs.unlink(path)
+        self.model.apply(self.ops[-1])
+
+    def rename(self, old: str, new: str) -> None:
+        self._record(OpRecord("rename", path=old, path2=new))
+        self.fs.rename(old, new)
+        self.model.apply(self.ops[-1])
+
+    def link(self, existing: str, new: str) -> None:
+        self._record(OpRecord("link", path=existing, path2=new))
+        self.fs.link(existing, new)
+        self.model.apply(self.ops[-1])
+
+    def sync(self) -> None:
+        self._record(OpRecord("sync"))
+        self.fs.sync()
+        self._barrier()
+
+    def checkpoint(self) -> None:
+        self._record(OpRecord("checkpoint"))
+        self.fs.checkpoint()
+        self._barrier()
+
+    def clean(self) -> None:
+        self._record(OpRecord("clean"))
+        self.fs.clean_now()
+        # Each cleaning pass checkpoints before reusing segments, but a
+        # pass may not run at all (nothing worth cleaning), so cleaning is
+        # deliberately NOT counted as a durability barrier — the oracle
+        # only under-approximates what must survive.
+
+    def _barrier(self) -> None:
+        self.barriers.append(
+            self.model.snapshot(len(self.ops) - 1, self.disk.blocks_logged)
+        )
+
+    # -- finishing ------------------------------------------------------
+    def finish(self) -> Recording:
+        """Stop recording (leaving any unsynced tail dirty) and bundle up."""
+        self.disk.recording = False
+        return Recording(
+            geometry=self.disk.geometry,
+            config=self._config,
+            base_blocks=self._base_blocks,
+            base_clock=self._base_clock,
+            requests=self.disk.requests,
+            total_blocks=self.disk.blocks_logged,
+            ops=self.ops,
+            barriers=self.barriers,
+            workload=self._workload,
+            seed=self._seed,
+        )

@@ -1,0 +1,246 @@
+"""Crash-point exploration: replay, recover, verify — in parallel.
+
+The runner takes one :class:`~repro.torture.record.Recording` and fans a
+set of crash points across a process pool. A crash point is a pair
+``(cut, variant)``: replay the recorded write stream onto a copy of the
+post-format image with the injector armed to fail after ``cut`` durable
+blocks in the given fault mode, then power the device back on, mount
+(running roll-forward recovery), and check the recovered namespace against
+the durability oracle plus a full ``lfsck`` of the resulting image.
+
+Everything is deterministic: the sample of points is drawn in the parent
+from the base seed, each point derives its own fault seed with
+:func:`~repro.simulator.sweep.derive_point_seed`, and results come back in
+spec order — so the outcome digest is bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.errors import LFSError
+from repro.core.filesystem import LFS
+from repro.disk.faults import FAULT_MODES, DiskCrashed
+from repro.simulator.sweep import derive_point_seed, resolve_workers
+from repro.tools.lfsck import check_filesystem
+from repro.torture.oracle import (
+    crash_state_bounds,
+    snapshot_namespace,
+    verify_recovered,
+)
+from repro.torture.record import Recording
+from repro.torture.workloads import record_workload
+
+
+@dataclass
+class PointResult:
+    """Outcome of one crash point."""
+
+    cut: int
+    variant: str
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+    recovery_elapsed: float = 0.0  # simulated disk seconds spent in roll-forward
+    partial_writes_replayed: int = 0
+    torn_writes_dropped: int = 0
+
+    def digest_line(self) -> str:
+        """A stable one-line fingerprint (feeds the run digest)."""
+        return (
+            f"{self.cut}:{self.variant}:{int(self.ok)}:"
+            f"{len(self.violations)}:{self.recovery_elapsed:.9f}"
+        )
+
+
+def explore_point(
+    recording: Recording, cut: int, variant: str, point_seed: int
+) -> PointResult:
+    """Replay to one crash point, recover, and verify.
+
+    ``cut == recording.total_blocks`` replays the whole stream with no
+    crash (the injector never fires), which checks the oracle against an
+    orderly-but-unflushed device.
+    """
+    disk = recording.fresh_disk()
+    if cut < recording.total_blocks:
+        disk.crash(after_writes=cut, mode=variant, seed=point_seed)
+    try:
+        for addr, payloads in recording.requests:
+            if len(payloads) == 1:
+                disk.write_block(addr, payloads[0])
+            else:
+                disk.write_blocks(addr, list(payloads))
+    except DiskCrashed:
+        pass
+    disk.power_on()
+
+    result = PointResult(cut=cut, variant=variant)
+    guaranteed, acceptable, touched = crash_state_bounds(
+        recording.ops, recording.barriers, cut
+    )
+    try:
+        fs = LFS.mount(disk, recording.config)
+    except LFSError as exc:
+        result.ok = False
+        result.violations.append(f"mount failed after crash: {exc}")
+        return result
+    report = fs.last_recovery
+    if report is not None:
+        result.recovery_elapsed = report.elapsed
+        result.partial_writes_replayed = report.partial_writes_replayed
+        result.torn_writes_dropped = report.torn_writes_dropped
+    recovered = snapshot_namespace(fs)
+    result.violations.extend(
+        verify_recovered(recovered, guaranteed, acceptable, touched)
+    )
+    fs.unmount()
+    check = check_filesystem(disk)
+    if not check.ok:
+        result.violations.extend(f"lfsck: {msg}" for msg in check.errors)
+    result.ok = not result.violations
+    return result
+
+
+# ----------------------------------------------------------------------
+# parallel plumbing: the recording ships once per worker, not per point
+
+_WORKER_RECORDING: Recording | None = None
+
+
+def _init_worker(blob: bytes) -> None:
+    global _WORKER_RECORDING
+    _WORKER_RECORDING = pickle.loads(zlib.decompress(blob))
+
+
+def _worker_point(cut: int, variant: str, point_seed: int) -> PointResult:
+    assert _WORKER_RECORDING is not None, "worker initializer did not run"
+    return explore_point(_WORKER_RECORDING, cut, variant, point_seed)
+
+
+# ----------------------------------------------------------------------
+# the sweep itself
+
+
+def select_points(
+    recording: Recording,
+    *,
+    sample: int | None,
+    seed: int,
+    variants: tuple[str, ...] = FAULT_MODES,
+    exhaustive: bool = False,
+) -> list[tuple[int, str, int]]:
+    """Choose the crash points to explore, in the parent, deterministically.
+
+    The population is every cut ``0..total_blocks`` crossed with every
+    fault variant. ``sample`` draws that many points with the base seed;
+    ``exhaustive`` (or a sample at least the population size) takes all of
+    them. Each point gets its own derived fault seed.
+    """
+    for v in variants:
+        if v not in FAULT_MODES:
+            raise ValueError(f"unknown fault variant {v!r} (want one of {FAULT_MODES})")
+    population = [
+        (cut, variant)
+        for cut in range(recording.total_blocks + 1)
+        for variant in variants
+    ]
+    if exhaustive or sample is None or sample >= len(population):
+        chosen = population
+    else:
+        chosen = random.Random(seed).sample(population, sample)
+    return [
+        (cut, variant, derive_point_seed(seed, recording.workload, cut, variant))
+        for cut, variant in chosen
+    ]
+
+
+@dataclass
+class TortureResult:
+    """Aggregate outcome of one torture run."""
+
+    workload: str
+    base_seed: int
+    total_blocks: int
+    population: int
+    points: list[PointResult]
+    workers: int
+    wall_seconds: float
+
+    @property
+    def violations(self) -> list[PointResult]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(p.violations) for p in self.points)
+
+    @property
+    def mean_recovery_seconds(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(p.recovery_elapsed for p in self.points) / len(self.points)
+
+    @property
+    def outcome_digest(self) -> str:
+        """CRC32 over every point's fingerprint, in spec order.
+
+        Identical digests across worker counts prove the sweep is
+        scheduling-independent.
+        """
+        text = "\n".join(p.digest_line() for p in self.points)
+        return f"{zlib.crc32(text.encode('utf-8')):08x}"
+
+    def variant_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for p in self.points:
+            counts[p.variant] = counts.get(p.variant, 0) + 1
+        return counts
+
+
+def run_torture(
+    workload: str,
+    *,
+    sample: int | None = 200,
+    seed: int = 0,
+    workers: int | None = None,
+    variants: tuple[str, ...] = FAULT_MODES,
+    exhaustive: bool = False,
+) -> TortureResult:
+    """Record one workload, then explore crash points across a pool."""
+    start = time.perf_counter()
+    recording = record_workload(workload, seed)
+    specs = select_points(
+        recording, sample=sample, seed=seed, variants=variants, exhaustive=exhaustive
+    )
+    nworkers = resolve_workers(workers, len(specs))
+    if nworkers <= 1:
+        points = [explore_point(recording, *spec) for spec in specs]
+    else:
+        blob = zlib.compress(pickle.dumps(recording))
+        chunk = max(1, len(specs) // (nworkers * 4))
+        with ProcessPoolExecutor(
+            max_workers=nworkers, initializer=_init_worker, initargs=(blob,)
+        ) as pool:
+            points = list(
+                pool.map(
+                    _worker_point,
+                    [s[0] for s in specs],
+                    [s[1] for s in specs],
+                    [s[2] for s in specs],
+                    chunksize=chunk,
+                )
+            )
+    return TortureResult(
+        workload=workload,
+        base_seed=seed,
+        total_blocks=recording.total_blocks,
+        population=(recording.total_blocks + 1) * len(variants),
+        points=points,
+        workers=nworkers,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,225 @@
+"""Seeded workload scripts for the torture recorder.
+
+Each script drives a :class:`~repro.torture.record.TortureRecorder` through
+a deterministic sequence of operations, chosen to stress a different part
+of the crash-recovery machinery:
+
+* ``smallfile`` — the paper's metadata-heavy pattern: many small files
+  across a few directories, with interleaved syncs, checkpoints,
+  overwrites, deletes, and an unsynced tail.
+* ``largefile`` — one big file grown by sequential appends and then hit
+  with random-offset overwrites, exercising indirect blocks in recovery.
+* ``andrew`` — a namespace workout: nested directories, copies, renames,
+  and hard links, exercising directory-log replay.
+* ``checkpoint`` — a checkpoint every couple of small operations, so a
+  large share of crash points land *inside* checkpoint-region writes.
+* ``cleaning`` — heavy overwrite churn against low watermarks plus
+  explicit cleaner invocations, so crash points land mid-cleaning.
+
+Every script takes only a seed, uses its own ``random.Random``, and issues
+only operations that are valid in the current namespace — so the recorder's
+model and the real file system never diverge.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import LFSConfig
+from repro.disk.geometry import DiskGeometry
+from repro.torture.record import Recording, TortureRecorder
+
+WORKLOADS = ("smallfile", "largefile", "andrew", "checkpoint", "cleaning")
+
+#: Small device (16 MB) so replaying thousands of crash points stays cheap.
+_TORTURE_BLOCKS = 4096
+
+
+def _config(**overrides) -> LFSConfig:
+    defaults = dict(
+        segment_bytes=128 * 1024,
+        max_inodes=512,
+        clean_low_water=4,
+        clean_high_water=8,
+        reserved_segments=3,
+        segments_per_pass=4,
+        write_buffer_blocks=16,  # flush often: more, smaller partial writes
+        checkpoint_interval=0.0,
+        cache_blocks=1024,
+    )
+    defaults.update(overrides)
+    return LFSConfig(**defaults)
+
+
+def _recorder(
+    workload: str, seed: int, *, num_blocks: int = _TORTURE_BLOCKS, **config_overrides
+) -> TortureRecorder:
+    return TortureRecorder(
+        _config(**config_overrides),
+        DiskGeometry.wren4(num_blocks=num_blocks),
+        workload=workload,
+        seed=seed,
+    )
+
+
+def _payload(rng: random.Random, size: int) -> bytes:
+    # One random prefix byte + a counted pattern: cheap to generate, and
+    # any splice of two different payloads is detectable.
+    tag = rng.randrange(256)
+    return bytes((tag + i) % 256 for i in range(size))
+
+
+def record_smallfile(seed: int) -> Recording:
+    rng = random.Random(seed)
+    rec = _recorder("smallfile", seed)
+    dirs = []
+    for i in range(4):
+        path = f"/d{i}"
+        rec.mkdir(path)
+        dirs.append(path)
+    live: list[str] = []
+    for n in range(60):
+        d = rng.choice(dirs)
+        path = f"{d}/f{n}"
+        rec.write(path, _payload(rng, rng.randrange(256, 3072)))
+        live.append(path)
+        roll = rng.random()
+        if roll < 0.2 and live:
+            victim = live.pop(rng.randrange(len(live)))
+            rec.unlink(victim)
+        elif roll < 0.4 and live:
+            rec.write(rng.choice(live), _payload(rng, rng.randrange(256, 2048)))
+        elif roll < 0.5 and live:
+            rec.append(rng.choice(live), _payload(rng, rng.randrange(64, 512)))
+        if n % 8 == 7:
+            rec.sync()
+        if n % 20 == 19:
+            rec.checkpoint()
+    # Leave an unsynced tail so late crash points exercise the
+    # may-be-lost half of the oracle.
+    for n in range(5):
+        rec.write(f"/d0/tail{n}", _payload(rng, 512))
+    return rec.finish()
+
+
+def record_largefile(seed: int) -> Recording:
+    rng = random.Random(seed)
+    rec = _recorder("largefile", seed)
+    path = "/big"
+    rec.write(path, _payload(rng, 8192))
+    size = 8192
+    for n in range(40):
+        chunk = rng.randrange(4096, 12288)
+        rec.append(path, _payload(rng, chunk))
+        size += chunk
+        if n % 6 == 5:
+            rec.sync()
+        if n % 15 == 14:
+            rec.checkpoint()
+    rec.sync()
+    for _ in range(12):
+        off = rng.randrange(0, size - 4096)
+        rec.update(path, _payload(rng, rng.randrange(512, 4096)), off)
+        if rng.random() < 0.4:
+            rec.sync()
+    rec.append(path, _payload(rng, 2048))  # unsynced tail
+    return rec.finish()
+
+
+def record_andrew(seed: int) -> Recording:
+    rng = random.Random(seed)
+    rec = _recorder("andrew", seed)
+    rec.mkdir("/src")
+    rec.mkdir("/src/lib")
+    rec.mkdir("/src/cmd")
+    rec.mkdir("/obj")
+    sources = []
+    for n in range(20):
+        d = rng.choice(["/src", "/src/lib", "/src/cmd"])
+        path = f"{d}/file{n}.c"
+        rec.write(path, _payload(rng, rng.randrange(512, 4096)))
+        sources.append(path)
+    rec.sync()
+    # "Copy" phase: read sources, write objects, with renames and links.
+    for n, src in enumerate(sources):
+        rec.write(f"/obj/file{n}.o", _payload(rng, rng.randrange(256, 2048)))
+        roll = rng.random()
+        if roll < 0.2:
+            new = f"/obj/file{n}.keep"
+            rec.rename(f"/obj/file{n}.o", new)
+        elif roll < 0.35:
+            rec.link(src, f"/obj/file{n}.lnk")
+        if n % 7 == 6:
+            rec.sync()
+        if n % 11 == 10:
+            rec.checkpoint()
+    # Scan-and-delete phase.
+    for n in range(0, 20, 3):
+        rec.unlink(sources[n])
+    rec.checkpoint()
+    rec.write("/obj/final", _payload(rng, 1024))  # unsynced tail
+    return rec.finish()
+
+
+def record_checkpoint(seed: int) -> Recording:
+    """Checkpoint every 2–3 small ops: cuts land mid-checkpoint-write."""
+    rng = random.Random(seed)
+    rec = _recorder("checkpoint", seed)
+    rec.mkdir("/cp")
+    since = 0
+    for n in range(45):
+        rec.write(f"/cp/f{n % 12}", _payload(rng, rng.randrange(128, 1024)))
+        since += 1
+        if since >= rng.randrange(2, 4):
+            rec.checkpoint()
+            since = 0
+    return rec.finish()
+
+
+def record_cleaning(seed: int) -> Recording:
+    """Overwrite churn against low watermarks, crashing mid-cleaning.
+
+    Runs on a deliberately tiny device (15 segments) so the overwrite
+    churn drives clean-segment count below the watermarks and the cleaner
+    genuinely runs — both from explicit ``clean`` calls and on its own
+    during flushes.
+    """
+    rng = random.Random(seed)
+    rec = _recorder(
+        "cleaning", seed, num_blocks=512, clean_low_water=4, clean_high_water=7
+    )
+    rec.mkdir("/churn")
+    paths = [f"/churn/f{i}" for i in range(12)]
+    for path in paths:
+        rec.write(path, _payload(rng, rng.randrange(4096, 8192)))
+    rec.sync()
+    for round_ in range(16):
+        for path in rng.sample(paths, 6):
+            rec.write(path, _payload(rng, rng.randrange(4096, 8192)))
+        if round_ % 2 == 0:
+            rec.sync()
+        rec.clean()
+        if round_ % 3 == 2:
+            rec.checkpoint()
+    rec.write("/churn/tail", _payload(rng, 1024))  # unsynced tail
+    return rec.finish()
+
+
+_RECORDERS = {
+    "smallfile": record_smallfile,
+    "largefile": record_largefile,
+    "andrew": record_andrew,
+    "checkpoint": record_checkpoint,
+    "cleaning": record_cleaning,
+}
+
+
+def record_workload(workload: str, seed: int) -> Recording:
+    """Run one named workload under recording; returns the bundle."""
+    try:
+        fn = _RECORDERS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown torture workload {workload!r} (want one of {WORKLOADS})"
+        ) from None
+    return fn(seed)

@@ -1,0 +1,174 @@
+"""CrashInjector edge cases: arming, re-arming, torn and reordered writes."""
+
+import pytest
+
+from repro.disk.device import Disk
+from repro.disk.faults import CrashInjector, DiskCrashed
+from repro.disk.geometry import DiskGeometry
+
+
+def _disk(num_blocks: int = 64) -> Disk:
+    return Disk(DiskGeometry.wren4(num_blocks=num_blocks))
+
+
+class TestArming:
+    def test_arm_zero_crashes_on_first_write(self):
+        disk = _disk()
+        disk.crash(after_writes=0)
+        with pytest.raises(DiskCrashed):
+            disk.write_block(3, b"x")
+        assert disk.peek(3) == bytes(disk.geometry.block_size)  # nothing persisted
+
+    def test_arm_counts_individual_blocks_of_multiblock_requests(self):
+        disk = _disk()
+        disk.crash(after_writes=2)
+        with pytest.raises(DiskCrashed):
+            disk.write_blocks(4, [b"a", b"b", b"c", b"d"])
+        # Exactly two blocks durable, in request order.
+        bs = disk.geometry.block_size
+        assert disk.peek(4) == b"a".ljust(bs, b"\0")
+        assert disk.peek(5) == b"b".ljust(bs, b"\0")
+        assert disk.peek(6) == bytes(bs)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CrashInjector().arm_after_writes(-1)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            CrashInjector().arm_after_writes(1, mode="lightning")
+
+
+class TestCrashedDevice:
+    def test_read_after_crash_raises_with_context(self):
+        disk = _disk()
+        disk.write_block(7, b"data")
+        disk.crash()
+        with pytest.raises(DiskCrashed) as exc_info:
+            disk.read_block(7)
+        assert exc_info.value.addr == 7
+        assert exc_info.value.op == "read"
+        assert "read of block 7" in str(exc_info.value)
+
+    def test_write_after_crash_raises_with_context(self):
+        disk = _disk()
+        disk.crash()
+        with pytest.raises(DiskCrashed) as exc_info:
+            disk.write_block(9, b"data")
+        assert exc_info.value.addr == 9
+        assert exc_info.value.op == "write"
+        assert "write of block 9" in str(exc_info.value)
+
+    def test_tripping_write_reports_failing_address(self):
+        disk = _disk()
+        disk.crash(after_writes=1)
+        disk.write_block(2, b"ok")
+        with pytest.raises(DiskCrashed) as exc_info:
+            disk.write_block(5, b"dies")
+        assert exc_info.value.addr == 5
+        assert "block 5" in str(exc_info.value)
+
+
+class TestPowerOnRearm:
+    def test_power_on_clears_crash_and_allows_rearm(self):
+        disk = _disk()
+        disk.write_block(1, b"before")
+        disk.crash(after_writes=0)
+        with pytest.raises(DiskCrashed):
+            disk.write_block(2, b"lost")
+        assert disk.faults.crashed
+
+        disk.power_on()
+        assert not disk.faults.crashed
+        assert not disk.faults.armed
+        assert disk.faults.mode == "clean"
+        # Contents survive the power cycle and traffic flows again.
+        assert disk.peek(1).startswith(b"before")
+        disk.write_block(2, b"second life")
+
+        # Arm → crash → power_on → arm again: the second cycle behaves
+        # exactly like the first.
+        disk.crash(after_writes=1, mode="torn", seed=9)
+        disk.write_block(3, b"survives")
+        with pytest.raises(DiskCrashed):
+            disk.write_block(4, b"dies")
+        disk.power_on()
+        disk.crash(after_writes=0)
+        with pytest.raises(DiskCrashed):
+            disk.write_block(5, b"dies again")
+
+    def test_power_on_disarms_pending_countdown(self):
+        disk = _disk()
+        disk.crash(after_writes=1)
+        disk.power_on()
+        for i in range(5):
+            disk.write_block(i, b"no crash")
+
+
+class TestTornWrites:
+    def test_dying_block_keeps_seeded_prefix_over_old_tail(self):
+        disk = _disk()
+        bs = disk.geometry.block_size
+        old = bytes([0xAA]) * bs
+        new = bytes([0xBB]) * bs
+        disk.write_block(10, old)
+        disk.crash(after_writes=0, mode="torn", seed=7)
+        with pytest.raises(DiskCrashed):
+            disk.write_block(10, new)
+        torn = disk.peek(10)
+        assert torn != old and torn != new
+        cut = torn.index(0xAA)  # first old byte = the tear point
+        assert 1 <= cut < bs
+        assert torn[:cut] == new[:cut]
+        assert torn[cut:] == old[cut:]
+
+    def test_torn_write_is_seed_deterministic(self):
+        def run(seed: int) -> bytes:
+            disk = _disk()
+            disk.write_block(0, bytes([1]) * disk.geometry.block_size)
+            disk.crash(after_writes=0, mode="torn", seed=seed)
+            with pytest.raises(DiskCrashed):
+                disk.write_block(0, bytes([2]) * disk.geometry.block_size)
+            return disk.peek(0)
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_clean_mode_persists_nothing_on_dying_write(self):
+        disk = _disk()
+        old = bytes([0xAA]) * disk.geometry.block_size
+        disk.write_block(10, old)
+        disk.crash(after_writes=0)
+        with pytest.raises(DiskCrashed):
+            disk.write_block(10, b"new")
+        assert disk.peek(10) == old
+
+
+class TestReorderedWrites:
+    def test_reorder_strands_non_prefix_subset(self):
+        disk = _disk()
+        disk.crash(after_writes=2, mode="reorder", seed=1)
+        payloads = [bytes([i + 1]) * disk.geometry.block_size for i in range(4)]
+        with pytest.raises(DiskCrashed):
+            disk.write_blocks(8, payloads)
+        persisted = [i for i in range(4) if disk.peek(8 + i) == payloads[i]]
+        # Two blocks are durable (the armed budget), but they are NOT the
+        # first two of the request: the queue committed out of order.
+        assert len(persisted) == 2
+        assert persisted != [0, 1]
+        assert persisted == [0, 3]  # seeded, hence exactly reproducible
+
+    def test_reorder_identity_once_disarmed(self):
+        injector = CrashInjector()
+        injector.arm_after_writes(10, mode="reorder", seed=5)
+        assert injector.request_order(1) == [0]
+        injector.power_on()
+        assert injector.request_order(6) == list(range(6))
+
+    def test_completed_requests_are_whole_regardless_of_order(self):
+        disk = _disk()
+        disk.crash(after_writes=100, mode="reorder", seed=2)
+        payloads = [bytes([i + 1]) * disk.geometry.block_size for i in range(8)]
+        disk.write_blocks(16, payloads)
+        for i, payload in enumerate(payloads):
+            assert disk.peek(16 + i) == payload
