@@ -4,15 +4,31 @@ Paper: over four months, write costs ranged 1.2-1.6 — far below the
 simulator's 2.5-3 prediction at the same utilizations — because most
 cleaned segments were totally empty (52-83%) and the non-empty ones were
 far emptier than the disk average.
+
+Each system runs under the event tracer, and the table's cleaning
+numbers are rederived from ``clean.segment`` events and asserted
+bit-identical against the legacy ``CleanerStats`` counters — both for
+the whole session and for the post-aging measurement window.
 """
 
-from conftest import run_once, save_result
+from conftest import assert_time_sane, run_once, save_result
 
 from repro.analysis.tables import table2_production
+from repro.obs import Observation
+from repro.obs.derive import TABLE_KINDS, cleaned_utilizations, cleaning_summary, cross_check
 
 
 def test_table2_production(benchmark):
-    result = run_once(benchmark, table2_production)
+    observations = {}
+
+    def obs_factory(config):
+        # Unbounded ring, filtered to the derivation kinds, so a long
+        # run never evicts a clean.segment or log.write event.
+        obs = Observation(ring_capacity=None, kinds=TABLE_KINDS)
+        observations[config.name] = obs
+        return obs
+
+    result = run_once(benchmark, lambda: table2_production(obs_factory=obs_factory))
     save_result("table2_production", result.render())
 
     by_name = {r.name: r for r in result.rows}
@@ -30,3 +46,21 @@ def test_table2_production(benchmark):
     # utilizations land near the configured targets
     assert 0.70 < by_name["/user6"].in_use < 0.85
     assert by_name["/tmp"].in_use < 0.25
+
+    # trace vs legacy counters: whole-session agreement must be exact
+    for name, obs in observations.items():
+        problems = cross_check(obs)
+        assert not problems, f"{name}: {problems}"
+        assert_time_sane(obs)
+
+    # and the measurement window itself: the row's numbers cover the
+    # trailing `segments_cleaned` cleanings, so the same trailing slice
+    # of the trace must reproduce them bit-identically
+    for row in result.rows:
+        obs = observations[row.name]
+        utils = cleaned_utilizations(obs.tracer.events())
+        window = utils[len(utils) - row.segments_cleaned :]
+        summary = cleaning_summary(window)
+        assert summary["segments_cleaned"] == row.segments_cleaned, row.name
+        assert summary["fraction_empty"] == row.fraction_empty, row.name
+        assert summary["avg_nonempty_utilization"] == row.avg_cleaned_u, row.name

@@ -4,15 +4,22 @@ Paper (for /user6): more than 99% of the *live* data is file data and
 indirect blocks, but about 13% of the *log bandwidth* goes to inodes,
 inode-map, and segment-usage blocks — metadata that is overwritten
 quickly, inflated by the short 30-second checkpoint interval.
+
+The workload runs under the event tracer; the bandwidth column is
+rederived from ``log.write`` events and asserted bit-identical against
+the legacy ``LogWriteStats`` counters.
 """
 
-from conftest import run_once, save_result
+from conftest import assert_time_sane, run_once, save_result
 
 from repro.analysis.tables import table4_block_types
+from repro.obs import Observation
+from repro.obs.derive import TABLE_KINDS, cross_check, log_bandwidth_breakdown
 
 
 def test_table4_block_types(benchmark):
-    result = run_once(benchmark, table4_block_types)
+    obs = Observation(ring_capacity=None, kinds=TABLE_KINDS)
+    result = run_once(benchmark, lambda: table4_block_types(obs=obs))
     save_result("table4_block_types", result.render())
 
     live_total = sum(result.live.values())
@@ -27,3 +34,9 @@ def test_table4_block_types(benchmark):
 
     data_log_frac = result.log["data"] / log_total
     assert data_log_frac > 0.5  # paper: 85.2%
+
+    # the trace must rederive the table's bandwidth column exactly
+    assert log_bandwidth_breakdown(obs.tracer.events()) == result.log
+    problems = cross_check(obs)
+    assert not problems, problems
+    assert_time_sane(obs)

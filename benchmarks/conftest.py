@@ -38,6 +38,23 @@ def run_once_timed(benchmark, fn):
     return result, time.perf_counter() - t0
 
 
+def assert_time_sane(obs) -> None:
+    """Debug invariant: the traced disk's busy-time never exceeds elapsed.
+
+    Uses the *unclamped* ``raw_utilization`` — the clamped display value
+    would silently mask double-charged busy time.
+    """
+    io = obs.registry.source("io")
+    now = obs._clock.now
+    assert io.busy_time <= now + 1e-9, (
+        f"busy_time {io.busy_time:.9f}s exceeds simulated time {now:.9f}s"
+    )
+    assert io.raw_utilization(now) <= 1.0 + 1e-9
+    assert abs(obs.attribution.total - io.busy_time) < 1e-6, (
+        "attributed seconds do not sum to the disk's busy_time"
+    )
+
+
 def record_bench(name: str, *, wall_seconds: float, **kwargs) -> pathlib.Path:
     """Record ``benchmarks/results/BENCH_<name>.json`` (schema in sweep.py)."""
     return _record_bench(

@@ -1,0 +1,107 @@
+"""Smoke-check that tracing is cheap and that disabled tracing is free.
+
+Runs the Figure 8 small-file workload twice — tracer disabled (the
+default: no Observation attached at all) and tracer enabled with an
+unbounded ring — and asserts the traced run stays within 10% wall-clock
+of the untraced one (plus a small floor so tiny runs aren't noise-bound).
+A sample of the trace is exported as JSONL *after* timing, so export
+cost never pollutes the overhead measurement.
+
+Standalone on purpose (not pytest-collected): CI runs it directly.
+
+    PYTHONPATH=src python benchmarks/trace_overhead_smoke.py \
+        --files 2000 --jsonl trace_smoke.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))  # for conftest helpers
+
+from conftest import RESULTS_DIR, assert_time_sane, record_bench
+
+from repro.disk.geometry import DiskGeometry
+from repro.obs import Observation
+from repro.obs.derive import cross_check
+from repro.workloads.smallfile import run_smallfile
+
+
+def _geometry() -> DiskGeometry:
+    return DiskGeometry.wren4(block_size=1024, num_blocks=65536)
+
+
+def _run(files: int, obs: Observation | None) -> float:
+    t0 = time.perf_counter()
+    run_smallfile("lfs", num_files=files, geometry=_geometry(), obs=obs)
+    return time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--files", type=int, default=2000)
+    parser.add_argument("--rounds", type=int, default=3, help="best-of-N timing")
+    parser.add_argument("--max-overhead", type=float, default=0.10)
+    parser.add_argument("--jsonl", default=None, help="export a sample trace here")
+    args = parser.parse_args(argv)
+
+    base = min(_run(args.files, None) for _ in range(args.rounds))
+
+    obs = None
+    traced = float("inf")
+    for _ in range(args.rounds):
+        candidate = Observation(ring_capacity=None)
+        elapsed = _run(args.files, candidate)
+        if elapsed < traced:
+            traced, obs = elapsed, candidate
+
+    assert obs is not None
+    problems = cross_check(obs)
+    if problems:
+        print("trace/counter mismatch:", problems)
+        return 1
+    assert_time_sane(obs)
+
+    overhead = (traced - base) / base if base > 0 else 0.0
+    # the +0.2s floor keeps sub-second runs from failing on scheduler noise
+    limit = base * (1.0 + args.max_overhead) + 0.2
+    print(
+        f"untraced {base:.3f}s, traced {traced:.3f}s "
+        f"({overhead * 100:+.1f}%, {obs.tracer.total_emitted} events)"
+    )
+
+    if args.jsonl:
+        lines = obs.tracer.export_jsonl(args.jsonl)
+        print(f"exported {lines} events to {args.jsonl}")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = record_bench(
+        "trace_overhead",
+        wall_seconds=traced,
+        extra={
+            "files": args.files,
+            "untraced_seconds": round(base, 6),
+            "traced_seconds": round(traced, 6),
+            "overhead_fraction": round(overhead, 6),
+            "events": obs.tracer.total_emitted,
+        },
+    )
+    print(f"recorded {path}")
+    print(json.dumps({"base": base, "traced": traced, "limit": limit}))
+
+    if traced > limit:
+        print(
+            f"FAIL: traced run {traced:.3f}s exceeds limit {limit:.3f}s "
+            f"(>{args.max_overhead * 100:.0f}% overhead)"
+        )
+        return 1
+    print("OK: tracing overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,10 +61,21 @@ class Table2Result:
         )
 
 
-def table2_production(configs: list[ProductionConfig] | None = None) -> Table2Result:
-    """Run the five Table 2 workloads (or a custom list)."""
+def table2_production(
+    configs: list[ProductionConfig] | None = None, *, obs_factory=None
+) -> Table2Result:
+    """Run the five Table 2 workloads (or a custom list).
+
+    ``obs_factory``, if given, is called once per config and must return a
+    :class:`repro.obs.Observation` (or None); the benchmark harness uses
+    it to cross-check each row against its trace.
+    """
     cfgs = configs if configs is not None else default_configs()
-    return Table2Result(rows=[run_production(c) for c in cfgs])
+    rows = []
+    for c in cfgs:
+        obs = obs_factory(c) if obs_factory is not None else None
+        rows.append(run_production(c, obs=obs))
+    return Table2Result(rows=rows)
 
 
 @dataclass
@@ -136,7 +147,9 @@ class Table4Result:
         )
 
 
-def table4_block_types(config: ProductionConfig | None = None) -> Table4Result:
+def table4_block_types(
+    config: ProductionConfig | None = None, *, obs=None
+) -> Table4Result:
     """Run a /user6-style workload and break down the log by block type."""
     import random
 
@@ -159,6 +172,7 @@ def table4_block_types(config: ProductionConfig | None = None) -> Table4Result:
             clean_high_water=low_water * 2,
             segments_per_pass=8,
         ),
+        obs=obs,
     )
     capacity = fs.layout.num_segments * fs.config.segment_bytes
     driver = _FileChurn(fs, rng, cfg, capacity)

@@ -116,13 +116,108 @@ def cmd_mkdir(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    disk, fs = _mount(args.image)
+    from repro.obs import Observation
+
+    disk = load_disk(args.image)
+    # Attach before mount so the registry and attribution also cover the
+    # mount-time recovery I/O.
+    obs = Observation(ring_capacity=4096)
+    fs = LFS.mount(disk, obs=obs)
+    snapshot = obs.registry.snapshot()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "disk_utilization": fs.disk_capacity_utilization,
+                    "clean_segments": fs.usage.clean_count,
+                    "total_segments": fs.layout.num_segments,
+                    "live_inodes": fs.imap.live_count,
+                    "write_cost": fs.write_cost,
+                    "segments_cleaned": fs.cleaner.stats.segments_cleaned,
+                    "simulated_time": disk.clock.now,
+                    "registry": snapshot,
+                    "attribution_seconds": obs.attribution.seconds,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"disk utilization  {fs.disk_capacity_utilization:.1%}")
     print(f"clean segments    {fs.usage.clean_count} / {fs.layout.num_segments}")
     print(f"live inodes       {fs.imap.live_count}")
     print(f"write cost        {fs.write_cost:.2f}")
     print(f"segments cleaned  {fs.cleaner.stats.segments_cleaned} (this session)")
     print(f"simulated time    {disk.clock.now:.3f}s")
+    print()
+    print(obs.registry.render(snapshot))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a workload under the tracer and cross-check trace vs counters.
+
+    Exit 0 when every trace-derived number agrees bit-identically with
+    the legacy counters, 1 on any mismatch.
+    """
+    from repro.obs import Observation
+    from repro.obs.derive import (
+        cleaned_utilizations,
+        cleaning_summary,
+        cross_check,
+        log_bandwidth_breakdown,
+    )
+
+    obs = Observation(
+        ring_capacity=args.ring if args.ring > 0 else None,
+        jsonl_path=args.jsonl,
+    )
+    if args.workload == "smallfile":
+        from repro.workloads.smallfile import run_smallfile
+
+        geo = DiskGeometry.wren4(block_size=1024, num_blocks=65536)
+        run_smallfile("lfs", num_files=args.files, geometry=geo, obs=obs)
+    elif args.workload == "andrew":
+        from repro.workloads.andrew import run_andrew
+
+        run_andrew("lfs", obs=obs)
+    else:  # production
+        from repro.workloads.production import ProductionConfig, run_production
+
+        run_production(
+            ProductionConfig(name="/trace", disk_mb=32, traffic_mb=32), obs=obs
+        )
+    obs.tracer.close()
+
+    counts = obs.tracer.emitted_counts
+    rows = [[kind, counts[kind]] for kind in sorted(counts)]
+    print(render_table(["event kind", "emitted"], rows, title=f"trace — {args.workload}"))
+    if obs.tracer.dropped:
+        print(f"ring dropped {obs.tracer.dropped} events (raise --ring for derivation)")
+    print()
+    print(obs.attribution.render())
+    print()
+
+    events = obs.tracer.events()
+    summary = cleaning_summary(cleaned_utilizations(events))
+    print("cleaning (Table 2 inputs, derived from trace):")
+    print(f"  segments cleaned  {summary['segments_cleaned']}")
+    print(f"  fraction empty    {summary['fraction_empty']:.3f}")
+    print(f"  avg non-empty u   {summary['avg_nonempty_utilization']:.3f}")
+    breakdown = log_bandwidth_breakdown(events)
+    total = sum(breakdown.values()) or 1
+    print("log bandwidth by block type (Table 4, derived from trace):")
+    for kind, blocks in breakdown.items():
+        print(f"  {kind:<10} {blocks:>8} blocks  {100.0 * blocks / total:5.1f}%")
+
+    problems = cross_check(obs)
+    if problems:
+        print("\nTRACE / COUNTER MISMATCH:")
+        for msg in problems:
+            print(f"  {msg}")
+        return 1
+    print("\ntrace agrees bit-identically with the legacy counters")
+    if args.jsonl:
+        print(f"wrote JSONL trace to {args.jsonl}")
     return 0
 
 
@@ -346,7 +441,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="show file-system statistics")
     p.add_argument("image")
+    p.add_argument("--json", action="store_true", help="print a metrics-registry snapshot as JSON")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload under the event tracer and cross-check it",
+        description=(
+            "Run a live workload with the observability layer attached, "
+            "print the event counts, the disk-time attribution, and the "
+            "Table 2 / Table 4 numbers rederived from the trace, then "
+            "verify the derived numbers agree bit-identically with the "
+            "legacy counters. Exit 1 on any mismatch."
+        ),
+    )
+    p.add_argument(
+        "--workload", default="smallfile", choices=("smallfile", "andrew", "production")
+    )
+    p.add_argument("--files", type=int, default=2000, help="files for the smallfile workload")
+    p.add_argument("--ring", type=int, default=0, help="ring capacity (0 = unbounded, the default, so derivation never drops events)")
+    p.add_argument("--jsonl", default=None, help="write the trace through to this JSONL file")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "fsck",

@@ -41,6 +41,8 @@ class BlockCache:
         self._dirty: set[tuple[int, int]] = set()
         self.hits = 0
         self.misses = 0
+        # Optional observability hook (repro.obs.Observation); None = off.
+        self.obs = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,6 +62,15 @@ class BlockCache:
         self._entries.move_to_end(key)
         self.hits += 1
         return entry
+
+    def peek(self, inum: int, fbn: int) -> CacheEntry | None:
+        """Unmetered lookup: no hit/miss accounting, no LRU refresh.
+
+        For *internal* traffic — the cleaner's liveness checks, flush
+        placement — so ``hit_rate`` and eviction order reflect only
+        application lookups.
+        """
+        return self._entries.get((inum, fbn))
 
     def contains(self, inum: int, fbn: int) -> bool:
         """Membership test without perturbing LRU order or hit counters."""
@@ -145,6 +156,8 @@ class BlockCache:
                 scans -= 1
                 continue
             scans -= 1
+            if self.obs is not None:
+                self.obs.emit("cache.evict", inum=key[0], fbn=key[1])
 
     @property
     def hit_rate(self) -> float:

@@ -26,6 +26,7 @@ from repro.core.config import DiskLayout
 from repro.core.constants import CHECKPOINT_MAGIC
 from repro.core.errors import CorruptionError
 from repro.disk.device import Disk
+from repro.obs.events import CHECKPOINT_WRITE
 
 # header: magic, pad, checkpoint seq, log seq, tail segment, tail offset,
 # reserved next segment, next inum hint, n_imap_blocks, n_usage_blocks
@@ -98,6 +99,14 @@ def write_checkpoint(disk: Disk, layout: DiskLayout, cp: Checkpoint, *, region_b
     ).ljust(block_size, b"\0")
     start = layout.checkpoint_b if region_b else layout.checkpoint_a
     disk.write_blocks(start, body + [trailer])
+    if disk.obs is not None:
+        disk.obs.emit(
+            CHECKPOINT_WRITE,
+            seq=cp.seq,
+            region="B" if region_b else "A",
+            blocks=len(body) + 1,
+            timestamp=cp.timestamp,
+        )
 
 
 def read_checkpoint(disk: Disk, layout: DiskLayout, *, region_b: bool) -> Checkpoint:

@@ -20,6 +20,8 @@ from repro.core.config import CleaningPolicy
 from repro.core.constants import BlockKind
 from repro.core.inode import unpack_inode_block
 from repro.core.summary import try_parse_summary
+from repro.obs.attribution import CLEANING_READ
+from repro.obs.events import CLEAN_PASS, CLEAN_SEGMENT
 from repro.victims import LazyVictimHeap, partial_sort
 
 
@@ -164,11 +166,16 @@ class Cleaner:
                 empties = [v for v in victims if fs.usage.get(v).live_bytes == 0]
                 if empties:
                     # Pure gain: "need not be read at all" (Section 3.4).
+                    obs = fs.disk.obs
                     for seg_no in empties:
                         self.stats.cleaned_utilizations.append(0.0)
                         fs.usage.mark_clean(seg_no)
                         self.stats.empty_segments_cleaned += 1
                         self.stats.segments_cleaned += 1
+                        if obs is not None:
+                            obs.emit(
+                                CLEAN_SEGMENT, segment=seg_no, utilization=0.0, empty=True
+                            )
                     cleaned += len(empties)
                     continue
                 if not checkpointed:
@@ -200,6 +207,16 @@ class Cleaner:
             free += fs.config.segment_blocks
         return free
 
+    @staticmethod
+    def _blocks_needed(live: int) -> int:
+        """Log blocks one victim's move consumes: the live blocks
+        themselves, summary slack, and the inode/map blocks the moves
+        dirty. Both the main fit loop and the single-victim fallback
+        must use this same margin — a fallback without the ``live // 8``
+        term can overflow headroom on a nearly-full disk.
+        """
+        return live + 4 + live // 8
+
     def _fit_to_headroom(self, victims: list[int]) -> list[int]:
         """Trim a victim list so its moved data fits the clean segments.
 
@@ -222,17 +239,15 @@ class Cleaner:
         acc = 0
         for seg_no in victims:
             u = fs.usage.utilization(seg_no)
-            live = int(u * seg_blocks)
-            # live blocks + summaries + inode/map blocks the moves dirty
-            need = live + 4 + live // 8
+            need = self._blocks_needed(int(u * seg_blocks))
             if chosen and acc + need > headroom:
                 break
             if not chosen and need > headroom:
                 # Not even one victim fits: try the emptiest candidate
                 # instead (maximum net gain per block of headroom).
                 fallback = min(self._candidates(), key=fs.usage.utilization)
-                fb_need = int(fs.usage.utilization(fallback) * seg_blocks) + 4
-                return [fallback] if fb_need <= headroom else []
+                fb_live = int(fs.usage.utilization(fallback) * seg_blocks)
+                return [fallback] if self._blocks_needed(fb_live) <= headroom else []
             chosen.append(seg_no)
             acc += need
         return chosen
@@ -240,10 +255,16 @@ class Cleaner:
     def _clean_pass(self, victims: list[int]) -> int:
         """Read victims, move their live blocks, and mark them clean."""
         fs = self.fs
+        obs = fs.disk.obs
         moved = 0
         for seg_no in victims:
-            self.stats.cleaned_utilizations.append(fs.usage.utilization(seg_no))
+            u = fs.usage.utilization(seg_no)
+            self.stats.cleaned_utilizations.append(u)
+            if obs is not None:
+                obs.emit(CLEAN_SEGMENT, segment=seg_no, utilization=u, empty=False)
             moved += self._gather_live(seg_no)
+        if obs is not None:
+            obs.emit(CLEAN_PASS, victims=list(victims), moved=moved)
         fs.flush(cleaning=True)
         # Persist the moved inodes/pointers before the sources are reused.
         fs.checkpoint()
@@ -265,42 +286,43 @@ class Cleaner:
         fs = self.fs
         seg_blocks = fs.config.segment_blocks
         start = fs.layout.segment_start(seg_no)
-        selective = (
-            fs.config.selective_read_utilization > 0.0
-            and fs.usage.utilization(seg_no) < fs.config.selective_read_utilization
-        )
-        if selective:
-            blocks = None
-            self.stats.selective_segments += 1
-        else:
-            blocks = fs.disk.read_blocks(start, seg_blocks)
-            self.stats.blocks_read += seg_blocks
+        with fs._cause(CLEANING_READ):
+            selective = (
+                fs.config.selective_read_utilization > 0.0
+                and fs.usage.utilization(seg_no) < fs.config.selective_read_utilization
+            )
+            if selective:
+                blocks = None
+                self.stats.selective_segments += 1
+            else:
+                blocks = fs.disk.read_blocks(start, seg_blocks)
+                self.stats.blocks_read += seg_blocks
 
-        def block_at(i: int) -> bytes:
-            if blocks is not None:
-                return blocks[i]
-            self.stats.blocks_read += 1
-            return fs.disk.read_block(start + i)
+            def block_at(i: int) -> bytes:
+                if blocks is not None:
+                    return blocks[i]
+                self.stats.blocks_read += 1
+                return fs.disk.read_block(start + i)
 
-        moved = 0
-        offset = 0
-        prev_seq = 0
-        while offset < seg_blocks:
-            summary = try_parse_summary(block_at(offset), fs.config.block_size)
-            if summary is None or summary.seq <= prev_seq or summary.seq >= fs.writer.seq:
-                break
-            n = len(summary.entries)
-            if offset + 1 + n > seg_blocks:
-                break
-            if blocks is not None and not summary.verify(blocks[offset + 1 : offset + 1 + n]):
-                break
-            prev_seq = summary.seq
-            for i, entry in enumerate(summary.entries):
-                addr = start + offset + 1 + i
-                if self._revive(entry, addr, lambda i=i, off=offset: block_at(off + 1 + i)):
-                    moved += 1
-            offset += 1 + n
-        return moved
+            moved = 0
+            offset = 0
+            prev_seq = 0
+            while offset < seg_blocks:
+                summary = try_parse_summary(block_at(offset), fs.config.block_size)
+                if summary is None or summary.seq <= prev_seq or summary.seq >= fs.writer.seq:
+                    break
+                n = len(summary.entries)
+                if offset + 1 + n > seg_blocks:
+                    break
+                if blocks is not None and not summary.verify(blocks[offset + 1 : offset + 1 + n]):
+                    break
+                prev_seq = summary.seq
+                for i, entry in enumerate(summary.entries):
+                    addr = start + offset + 1 + i
+                    if self._revive(entry, addr, lambda i=i, off=offset: block_at(off + 1 + i)):
+                        moved += 1
+                offset += 1 + n
+            return moved
 
     def _revive(self, entry, addr: int, get_payload) -> bool:
         """If the block at ``addr`` is live, queue it for rewriting."""
@@ -313,7 +335,9 @@ class Cleaner:
                 return False  # the paper's fast uid check: no inode read
             if fs.block_addr(entry.inum, entry.offset) != addr:
                 return False
-            cached = fs.cache.lookup(entry.inum, entry.offset)
+            # peek, not lookup: the cleaner's liveness probe must not
+            # count as a cache hit/miss or refresh LRU order.
+            cached = fs.cache.peek(entry.inum, entry.offset)
             inode = fs.get_inode(entry.inum)
             if cached is not None:
                 if cached.dirty:

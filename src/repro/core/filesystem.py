@@ -11,6 +11,7 @@ free space management is entirely segment-based, as in the paper.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.cache import BlockCache
@@ -39,6 +40,12 @@ from repro.core.seg_usage import SegmentUsageTable
 from repro.core.segments import LogItem, LogWriter
 from repro.core.superblock import Superblock
 from repro.disk.device import Disk
+from repro.obs.attribution import CHECKPOINT, CLEANING_WRITE, DATA_WRITE
+from repro.obs.events import CACHE_FLUSH
+
+# Shared no-op context for the untraced path: one instance, no allocation
+# per flush when observability is off.
+_NULL_CAUSE = nullcontext()
 
 
 @dataclass
@@ -114,6 +121,8 @@ class LFS:
         self.cache = BlockCache(config.cache_blocks)
         self.cleaner = Cleaner(self)
         self.stats = LFSStats()
+        # Optional observability hook (repro.obs.Observation); None = off.
+        self.obs = None
         self._inodes: dict[int, Inode] = {}
         self._dirty_inodes: set[int] = set()
         self._filemaps: dict[int, FileMap] = {}
@@ -132,8 +141,13 @@ class LFS:
     # lifecycle
 
     @classmethod
-    def format(cls, disk: Disk, config: LFSConfig | None = None) -> "LFS":
-        """mkfs: write a fresh file system and return it mounted."""
+    def format(cls, disk: Disk, config: LFSConfig | None = None, *, obs=None) -> "LFS":
+        """mkfs: write a fresh file system and return it mounted.
+
+        ``obs`` (a :class:`repro.obs.Observation`) is attached before the
+        first write so the trace covers the whole session, including the
+        format-time checkpoint.
+        """
         config = config if config is not None else LFSConfig()
         if config.block_size != disk.geometry.block_size:
             raise InvalidOperationError(
@@ -142,6 +156,8 @@ class LFS:
             )
         layout = compute_layout(config, disk.geometry.num_blocks)
         fs = cls(disk, config, layout)
+        if obs is not None:
+            obs.attach(fs)
         sb = Superblock.from_layout(config, layout)
         disk.write_block(0, sb.to_bytes(config.block_size))
         root = Inode(
@@ -167,6 +183,7 @@ class LFS:
         config: LFSConfig | None = None,
         *,
         roll_forward: bool = True,
+        obs=None,
     ) -> "LFS":
         """Attach to an existing file system.
 
@@ -199,6 +216,8 @@ class LFS:
         if layout.num_segments != sb.num_segments or layout.segment_area_start != sb.segment_area_start:
             raise CorruptionError("superblock layout does not match device geometry")
         fs = cls(disk, merged, layout)
+        if obs is not None:
+            obs.attach(fs)
         cp, was_b = read_latest_checkpoint(disk, layout)
         fs._load_checkpoint(cp, was_b)
         fs._mounted = True
@@ -275,6 +294,12 @@ class LFS:
     def _require_mounted(self) -> None:
         if not self._mounted:
             raise NotMountedError("file system is not mounted")
+
+    def _cause(self, name: str):
+        """Scope disk time under an attribution cause (no-op when untraced)."""
+        if self.obs is None:
+            return _NULL_CAUSE
+        return self.obs.cause(name)
 
     # ==================================================================
     # inode / filemap access
@@ -963,7 +988,9 @@ class LFS:
         bs = self.config.block_size
         if old != NULL_ADDR:
             self.usage.remove_live(self.layout.segment_of(old), bs)
-        entry = self.cache.lookup(inum, fbn)
+        # peek, not lookup: placement is internal traffic and must not
+        # count toward the application hit rate or reorder the LRU.
+        entry = self.cache.peek(inum, fbn)
         mtime = entry.mtime if entry else self.disk.clock.now
         self.usage.add_live(self.layout.segment_of(addr), bs, mtime)
         self.cache.mark_clean(inum, fbn)
@@ -999,10 +1026,14 @@ class LFS:
     def flush(self, *, include_meta: bool = False, cleaning: bool = False) -> int:
         """Write everything dirty to the log; returns partial writes issued."""
         self._require_mounted()
+        dirty_before = self.cache.dirty_count
         items = self._build_flush_items(include_meta=include_meta, cleaning=cleaning)
         if not items:
             return 0
-        writes = self.writer.append(items, cleaning=cleaning)
+        if self.obs is not None:
+            self.obs.emit(CACHE_FLUSH, dirty=dirty_before, items=len(items), cleaning=cleaning)
+        with self._cause(CLEANING_WRITE if cleaning else DATA_WRITE):
+            writes = self.writer.append(items, cleaning=cleaning)
         self.stats.flushes += 1
         return writes
 
@@ -1033,36 +1064,39 @@ class LFS:
         # Now write the inode map and segment usage table. The usage table
         # is self-referential — writing its blocks changes live counts — so
         # iterate until no map block is re-dirtied (converges in 2-3 steps;
-        # the cap bounds staleness in pathological cases).
-        for _ in range(8):
-            meta = self._build_meta_items()
-            if not meta:
-                break
-            self.writer.append(meta)
-        for idx in range(self.imap.num_blocks):
-            self.imap.clear_dirty(idx)
-        for idx in range(self.usage.num_blocks):
-            self.usage.clear_dirty(idx)
+        # the cap bounds staleness in pathological cases). The residual
+        # flush above charges as ordinary data/cleaning traffic; only the
+        # map stabilization and the region write are checkpoint overhead.
+        with self._cause(CHECKPOINT):
+            for _ in range(8):
+                meta = self._build_meta_items()
+                if not meta:
+                    break
+                self.writer.append(meta)
+            for idx in range(self.imap.num_blocks):
+                self.imap.clear_dirty(idx)
+            for idx in range(self.usage.num_blocks):
+                self.usage.clear_dirty(idx)
 
-        from repro.core.constants import NO_SEGMENT
+            from repro.core.constants import NO_SEGMENT
 
-        now = self.disk.clock.now
-        cp = Checkpoint(
-            seq=self._checkpoint_seq,
-            timestamp=now,
-            log_seq=self.writer.seq,
-            tail_segment=self.writer.current_segment
-            if self.writer.current_segment is not None
-            else 0,
-            tail_offset=self.writer.offset,
-            next_segment=self.writer.next_segment
-            if self.writer.next_segment is not None
-            else NO_SEGMENT,
-            next_inum=self.imap._next_inum,
-            imap_addrs=list(self.imap.block_addrs),
-            usage_addrs=list(self.usage.block_addrs),
-        )
-        write_checkpoint(self.disk, self.layout, cp, region_b=self._next_region_b)
+            now = self.disk.clock.now
+            cp = Checkpoint(
+                seq=self._checkpoint_seq,
+                timestamp=now,
+                log_seq=self.writer.seq,
+                tail_segment=self.writer.current_segment
+                if self.writer.current_segment is not None
+                else 0,
+                tail_offset=self.writer.offset,
+                next_segment=self.writer.next_segment
+                if self.writer.next_segment is not None
+                else NO_SEGMENT,
+                next_inum=self.imap._next_inum,
+                imap_addrs=list(self.imap.block_addrs),
+                usage_addrs=list(self.usage.block_addrs),
+            )
+            write_checkpoint(self.disk, self.layout, cp, region_b=self._next_region_b)
         self.stats.checkpoint_region_blocks += self.layout.checkpoint_blocks
         self._checkpoint_seq += 1
         self._next_region_b = not self._next_region_b

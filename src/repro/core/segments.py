@@ -20,6 +20,7 @@ from repro.core.errors import NoSpaceError
 from repro.core.seg_usage import SegmentUsageTable
 from repro.core.summary import SegmentSummary, SummaryEntry, summary_capacity
 from repro.disk.device import Disk
+from repro.obs.events import LOG_SEGMENT_OPEN, LOG_WRITE
 
 
 @dataclass
@@ -155,6 +156,8 @@ class LogWriter:
         self.current_segment = seg
         self.offset = 0
         self.stats.segments_opened += 1
+        if self.disk.obs is not None:
+            self.disk.obs.emit(LOG_SEGMENT_OPEN, segment=seg)
         self._reserve_next()
 
     # ------------------------------------------------------------------
@@ -214,6 +217,22 @@ class LogWriter:
 
             self.disk.write_blocks(start_addr, [summary_block] + payloads)
             self.usage.add_live(self.current_segment, 0, now)  # stamp write time
+            obs = self.disk.obs
+            if obs is not None:
+                # Mirrors the stats.count() calls below exactly, so trace
+                # derivation reproduces blocks_by_kind bit-for-bit.
+                kinds = {BlockKind.SUMMARY.name: 1}
+                for item in batch:
+                    kinds[item.kind.name] = kinds.get(item.kind.name, 0) + 1
+                obs.emit(
+                    LOG_WRITE,
+                    segment=self.current_segment,
+                    seq=self.seq,
+                    offset=self.offset,
+                    blocks=1 + len(batch),
+                    cleaning=cleaning,
+                    kinds=kinds,
+                )
             self.offset += 1 + len(batch)
             self.seq += 1
             writes += 1

@@ -34,6 +34,9 @@ class Disk:
         self.clock = clock if clock is not None else SimClock()
         self.stats = IOStats()
         self.faults = CrashInjector()
+        # Optional observability hook (repro.obs.Observation). None means
+        # disabled: the only cost on the request path is this one check.
+        self.obs = None
         self._blocks: dict[int, bytes] = {}
         self._zero_block = bytes(self.geometry.block_size)
         # ``_head`` is the address at which the *next* request would be
@@ -94,6 +97,10 @@ class Disk:
             self.stats.blocks_read += nblocks
             self.stats.bytes_read += nbytes
         self._head = to_block + nblocks
+        if self.obs is not None:
+            self.obs.on_io(
+                self.clock.now, to_block, nblocks, elapsed, write=write, seeked=seeked
+            )
 
     # ------------------------------------------------------------------
     # I/O

@@ -101,11 +101,20 @@ class IOStats:
         """Total bytes moved in either direction."""
         return self.bytes_read + self.bytes_written
 
-    def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` seconds the disk was busy."""
+    def raw_utilization(self, elapsed: float) -> float:
+        """Unclamped ``busy_time / elapsed``.
+
+        A ratio above 1.0 is impossible on a correctly metered device, so
+        this is the number to assert on: the clamped :meth:`utilization`
+        would silently mask busy-time double-charged by accounting bugs.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        return self.busy_time / elapsed
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the disk was busy (clamped for display)."""
+        return min(1.0, self.raw_utilization(elapsed))
 
 
 @dataclass

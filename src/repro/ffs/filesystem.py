@@ -130,6 +130,8 @@ class FFS:
         self.inode_alloc = InodeAllocator(self.layout.max_inodes, self.layout.num_groups)
         self.cache = BlockCache(self.config.cache_blocks)
         self.stats = FFSStats()
+        # Optional observability hook (repro.obs.Observation); None = off.
+        self.obs = None
         self._inodes: dict[int, Inode] = {}
         self._filemaps: dict[int, FileMap] = {}
         self._dir_states: dict[int, _DirState] = {}
@@ -140,9 +142,15 @@ class FFS:
     # lifecycle
 
     @classmethod
-    def format(cls, disk: Disk, config: FFSConfig | None = None) -> "FFS":
-        """mkfs: create a fresh FFS with an empty root directory."""
+    def format(cls, disk: Disk, config: FFSConfig | None = None, *, obs=None) -> "FFS":
+        """mkfs: create a fresh FFS with an empty root directory.
+
+        ``obs`` (a :class:`repro.obs.Observation`) is attached before the
+        first write so the trace covers the whole session.
+        """
         fs = cls(disk, config)
+        if obs is not None:
+            obs.attach(fs)
         now = disk.clock.now
         root = Inode(inum=ROOT_INUM, ftype=FileType.DIRECTORY, mtime=now, ctime=now)
         fs._inodes[ROOT_INUM] = root

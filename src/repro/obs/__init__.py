@@ -1,0 +1,51 @@
+"""``repro.obs`` — the unified observability layer.
+
+Three pieces, usable together (via :class:`Observation`) or alone:
+
+- :mod:`repro.obs.tracer` — a typed simulated-time event tracer (ring
+  buffer, kind filter, optional JSONL export) fed by hooks in the disk
+  model, the log writer, the cleaner, the cache, and checkpoint writes;
+- :mod:`repro.obs.attribution` — a profiler charging every second of
+  simulated disk busy-time to a cause (data write / cleaning read /
+  cleaning write / checkpoint / application read), the paper's
+  write-cost decomposition;
+- :mod:`repro.obs.registry` — one ``snapshot()``/``delta()`` protocol
+  over the previously scattered counter structs (``IOStats``,
+  ``CleanerStats``, ``LFSStats``, ``LogWriteStats``, ``FFSStats``).
+
+:mod:`repro.obs.derive` rederives the paper's Table 2 and Table 4
+numbers from trace events and cross-checks them bit-identically against
+the legacy counters.
+"""
+
+from repro.obs.attribution import (
+    APPLICATION_READ,
+    CAUSES,
+    CHECKPOINT,
+    CLEANING_READ,
+    CLEANING_WRITE,
+    DATA_WRITE,
+    TimeAttribution,
+)
+from repro.obs.events import EVENT_KINDS, Event
+from repro.obs.observation import Observation
+from repro.obs.registry import MetricsRegistry, scrape
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "APPLICATION_READ",
+    "CAUSES",
+    "CHECKPOINT",
+    "CLEANING_READ",
+    "CLEANING_WRITE",
+    "DATA_WRITE",
+    "EVENT_KINDS",
+    "Event",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observation",
+    "scrape",
+    "TimeAttribution",
+    "Tracer",
+]

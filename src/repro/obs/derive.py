@@ -1,0 +1,135 @@
+"""Rederive the paper's evaluation tables from trace events.
+
+The legacy counters (``CleanerStats``, ``LogWriteStats``) and the event
+trace observe the same occurrences at the same call sites, so any number
+computed from one must be *bit-identical* when computed from the other —
+same floats in the same order, same integers. These helpers do the
+event-side derivation, and :func:`cross_check` asserts the agreement
+against the live counters registered in an :class:`Observation`. The
+Table 2 and Table 4 benchmarks run both paths and fail on any mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.events import CLEAN_SEGMENT, Event, LOG_WRITE
+
+#: Tracer kinds sufficient to rederive Tables 2 and 4 (use as the
+#: ``kinds`` filter for long runs so the ring never drops one).
+TABLE_KINDS = (CLEAN_SEGMENT, LOG_WRITE)
+
+
+def cleaned_utilizations(events: Iterable[Event]) -> list[float]:
+    """Utilization of every cleaned segment, in cleaning order.
+
+    Equals ``CleanerStats.cleaned_utilizations`` element-for-element:
+    both record the same ``usage.utilization()`` float at the same
+    moment of each cleaning pass.
+    """
+    return [e.fields["utilization"] for e in events if e.kind == CLEAN_SEGMENT]
+
+
+def cleaning_summary(utils: list[float]) -> dict[str, float | int]:
+    """Table 2's per-system cleaning numbers from a utilization list.
+
+    The arithmetic mirrors ``CleanerStats.fraction_empty`` /
+    ``avg_nonempty_utilization`` (and the windowed computation in
+    ``run_production``) exactly, so results agree bit-identically.
+    """
+    empty = sum(1 for u in utils if u == 0.0)
+    nonempty = [u for u in utils if u > 0.0]
+    return {
+        "segments_cleaned": len(utils),
+        "empty_segments_cleaned": empty,
+        "fraction_empty": (empty / len(utils)) if utils else 0.0,
+        "avg_nonempty_utilization": (sum(nonempty) / len(nonempty)) if nonempty else 0.0,
+    }
+
+
+def blocks_by_kind(events: Iterable[Event]) -> dict[str, int]:
+    """Log blocks written per ``BlockKind`` name, summed over the trace."""
+    totals: dict[str, int] = {}
+    for event in events:
+        if event.kind != LOG_WRITE:
+            continue
+        for kind_name, count in event.fields["kinds"].items():
+            totals[kind_name] = totals.get(kind_name, 0) + count
+    return totals
+
+
+def log_bandwidth_breakdown(events: Iterable[Event]) -> dict[str, int]:
+    """Table 4's log-bandwidth-by-block-type dict, from the trace.
+
+    Same keys and grouping as ``LFS.log_bandwidth_breakdown()``.
+    """
+    kinds = blocks_by_kind(events)
+    return {
+        "data": kinds.get("DATA", 0),
+        "indirect": kinds.get("INDIRECT", 0) + kinds.get("DINDIRECT", 0),
+        "inode": kinds.get("INODE", 0),
+        "inode_map": kinds.get("INODE_MAP", 0),
+        "seg_usage": kinds.get("SEG_USAGE", 0),
+        "dirop_log": kinds.get("DIROP_LOG", 0),
+        "summary": kinds.get("SUMMARY", 0),
+    }
+
+
+def cross_check(obs) -> list[str]:
+    """Compare trace-derived numbers against the legacy counters.
+
+    Returns a list of human-readable mismatches (empty means the trace
+    and the counters agree bit-identically). Requires the observation's
+    tracer to have retained every ``clean.segment`` and ``log.write``
+    event — use an unbounded ring or the :data:`TABLE_KINDS` filter.
+    """
+    problems: list[str] = []
+    events = obs.tracer.events()
+
+    if "cleaner" in obs.registry.names():
+        stats = obs.registry.source("cleaner")
+        derived = cleaned_utilizations(events)
+        if derived != stats.cleaned_utilizations:
+            problems.append(
+                f"cleaned utilizations: trace has {len(derived)} entries, "
+                f"counters have {len(stats.cleaned_utilizations)} (or values differ)"
+            )
+        summary = cleaning_summary(derived)
+        if summary["segments_cleaned"] != stats.segments_cleaned:
+            problems.append(
+                f"segments cleaned: trace {summary['segments_cleaned']} "
+                f"!= counters {stats.segments_cleaned}"
+            )
+        if summary["empty_segments_cleaned"] != stats.empty_segments_cleaned:
+            problems.append(
+                f"empty segments: trace {summary['empty_segments_cleaned']} "
+                f"!= counters {stats.empty_segments_cleaned}"
+            )
+        if summary["fraction_empty"] != stats.fraction_empty:
+            problems.append(
+                f"fraction empty: trace {summary['fraction_empty']!r} "
+                f"!= counters {stats.fraction_empty!r}"
+            )
+        if summary["avg_nonempty_utilization"] != stats.avg_nonempty_utilization:
+            problems.append(
+                f"avg non-empty u: trace {summary['avg_nonempty_utilization']!r} "
+                f"!= counters {stats.avg_nonempty_utilization!r}"
+            )
+
+    if "log" in obs.registry.names():
+        stats = obs.registry.source("log")
+        derived_kinds = blocks_by_kind(events)
+        legacy_kinds = {
+            kind.name: count for kind, count in stats.blocks_by_kind.items() if count
+        }
+        derived_kinds = {k: v for k, v in derived_kinds.items() if v}
+        if derived_kinds != legacy_kinds:
+            problems.append(
+                f"blocks by kind: trace {derived_kinds} != counters {legacy_kinds}"
+            )
+        derived_total = sum(derived_kinds.values())
+        if derived_total != stats.total_blocks:
+            problems.append(
+                f"total log blocks: trace {derived_total} != counters {stats.total_blocks}"
+            )
+    return problems

@@ -1,0 +1,70 @@
+"""Typed events for the observability layer.
+
+Every event carries the *simulated* time at which it happened (the same
+clock the disk model advances), a dotted kind string, the attribution
+cause active when it was emitted (if any), and a flat dict of
+kind-specific fields. The taxonomy:
+
+=================  ====================================================
+kind               fields
+=================  ====================================================
+``disk.read``      ``addr, blocks, elapsed, seek``
+``disk.write``     ``addr, blocks, elapsed, seek``
+``log.write``      ``segment, seq, offset, blocks, cleaning, kinds``
+``log.segment_open``  ``segment``
+``clean.pass``     ``victims, moved``
+``clean.segment``  ``segment, utilization, empty``
+``checkpoint.write``  ``seq, region, blocks, timestamp``
+``cache.evict``    ``inum, fbn``
+``cache.flush``    ``dirty, items, cleaning``
+=================  ====================================================
+
+``log.write``'s ``kinds`` maps :class:`~repro.core.constants.BlockKind`
+*names* to block counts for that partial write, so the Table 4 bandwidth
+breakdown can be rederived from the trace alone and compared
+bit-identically with the legacy ``LogWriteStats`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DISK_READ = "disk.read"
+DISK_WRITE = "disk.write"
+LOG_WRITE = "log.write"
+LOG_SEGMENT_OPEN = "log.segment_open"
+CLEAN_PASS = "clean.pass"
+CLEAN_SEGMENT = "clean.segment"
+CHECKPOINT_WRITE = "checkpoint.write"
+CACHE_EVICT = "cache.evict"
+CACHE_FLUSH = "cache.flush"
+
+EVENT_KINDS = (
+    DISK_READ,
+    DISK_WRITE,
+    LOG_WRITE,
+    LOG_SEGMENT_OPEN,
+    CLEAN_PASS,
+    CLEAN_SEGMENT,
+    CHECKPOINT_WRITE,
+    CACHE_EVICT,
+    CACHE_FLUSH,
+)
+
+
+@dataclass(slots=True)
+class Event:
+    """One observed occurrence at a simulated instant."""
+
+    time: float
+    kind: str
+    cause: str | None
+    fields: dict
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable flat representation (for JSONL export)."""
+        out = {"t": self.time, "kind": self.kind}
+        if self.cause is not None:
+            out["cause"] = self.cause
+        out.update(self.fields)
+        return out

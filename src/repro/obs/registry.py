@@ -1,0 +1,120 @@
+"""A metrics registry unifying the repo's scattered counter structs.
+
+``IOStats``, ``CleanerStats``, ``LFSStats``, ``LogWriteStats``, and
+``FFSStats`` each grew their own ad-hoc shape. The registry puts them
+behind one protocol: :meth:`MetricsRegistry.snapshot` walks every
+registered source and copies its numeric state into a plain nested dict,
+and :meth:`MetricsRegistry.delta` subtracts two snapshots — so "what did
+this phase cost" is one subtraction regardless of which subsystem the
+counters live in.
+
+Sources may be objects (dataclasses or plain attribute bags) or
+zero-argument callables returning one; callables re-resolve at each
+snapshot, which keeps a registration valid across ``Disk.reset_stats``
+swapping the stats object out from under it.
+
+Scraping rules: ints and floats are copied; dicts with numeric values
+are copied with keys stringified (enum keys use their ``name``); lists
+contribute their length as ``<field>_count``. Everything else —
+derived properties, payloads, private state — is skipped, so snapshots
+hold raw counters only and deltas are always well-defined.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+Snapshot = dict[str, dict[str, Any]]
+
+
+def _scrape_value(value: Any):
+    """Numeric-only projection of one attribute, or None to skip it."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if isinstance(item, bool) or not isinstance(item, (int, float)):
+                return None
+            out[getattr(key, "name", None) or str(key)] = item
+        return out
+    return None
+
+
+def scrape(source: Any) -> dict[str, Any]:
+    """Copy one stats object's numeric state into a plain dict."""
+    if dataclasses.is_dataclass(source):
+        names = [f.name for f in dataclasses.fields(source)]
+    else:
+        names = [n for n in vars(source) if not n.startswith("_")]
+    out: dict[str, Any] = {}
+    for name in names:
+        value = getattr(source, name)
+        if isinstance(value, list):
+            out[f"{name}_count"] = len(value)
+            continue
+        scraped = _scrape_value(value)
+        if scraped is not None:
+            out[name] = scraped
+    return out
+
+
+class MetricsRegistry:
+    """Named counter sources with a uniform snapshot()/delta() protocol."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, Any] = {}
+
+    def register(self, name: str, source: Any | Callable[[], Any]) -> None:
+        """Add (or replace) a source under ``name``."""
+        self._sources[name] = source
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def source(self, name: str) -> Any:
+        """The live source object registered under ``name``."""
+        source = self._sources[name]
+        return source() if callable(source) else source
+
+    def snapshot(self) -> Snapshot:
+        """Copy every source's counters: ``{source: {field: number}}``."""
+        return {name: scrape(self.source(name)) for name in self._sources}
+
+    @staticmethod
+    def delta(later: Snapshot, earlier: Snapshot) -> Snapshot:
+        """Per-field ``later - earlier``; fields missing earlier count as 0."""
+        out: Snapshot = {}
+        for source_name, fields in later.items():
+            base = earlier.get(source_name, {})
+            diff: dict[str, Any] = {}
+            for field, value in fields.items():
+                before = base.get(field, 0)
+                if isinstance(value, dict):
+                    before = before if isinstance(before, dict) else {}
+                    diff[field] = {
+                        k: v - before.get(k, 0) for k, v in value.items()
+                    }
+                else:
+                    diff[field] = value - before
+            out[source_name] = diff
+        return out
+
+    def render(self, snapshot: Snapshot | None = None) -> str:
+        """An ASCII table of one snapshot (current state by default)."""
+        from repro.analysis.ascii_chart import render_table
+
+        snap = snapshot if snapshot is not None else self.snapshot()
+        rows = []
+        for source_name in sorted(snap):
+            for field in sorted(snap[source_name]):
+                value = snap[source_name][field]
+                if isinstance(value, dict):
+                    value = ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+                elif isinstance(value, float):
+                    value = f"{value:.6g}"
+                rows.append([source_name, field, value])
+        return render_table(["source", "counter", "value"], rows, title="metrics registry")

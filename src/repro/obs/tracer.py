@@ -1,0 +1,115 @@
+"""The event tracer: a ring buffer with optional write-through JSONL.
+
+A :class:`Tracer` is deliberately dumb — it timestamps, filters, and
+stores. Retention is a bounded ring (``capacity=None`` for unbounded,
+which derivation-heavy harnesses use so no ``clean.segment`` or
+``log.write`` event is ever dropped), optionally restricted to a set of
+kinds so a long production run can record only the events it will derive
+tables from. ``emitted_counts`` always counts every emit, before the
+kind filter and before ring eviction, so a summary stays truthful even
+when the ring dropped events.
+
+:class:`NullTracer` is the disabled configuration: ``emit`` is a bound
+no-op and ``enabled`` is False, so hook sites stay zero-cost beyond one
+attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterable
+
+from repro.obs.events import Event
+
+
+class Tracer:
+    """Records :class:`Event` objects into a bounded ring buffer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int | None = 65536,
+        *,
+        kinds: Iterable[str] | None = None,
+        jsonl_path: str | None = None,
+    ) -> None:
+        self.capacity = capacity
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self.emitted_counts: dict[str, int] = {}
+        self._jsonl = open(jsonl_path, "w") if jsonl_path else None
+
+    def emit(self, kind: str, time: float, cause: str | None = None, **fields) -> None:
+        """Record one event (dropped silently if the kind is filtered out)."""
+        self.emitted_counts[kind] = self.emitted_counts.get(kind, 0) + 1
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        event = Event(time=time, kind=kind, cause=cause, fields=fields)
+        self._ring.append(event)
+        if self._jsonl is not None:
+            self._jsonl.write(json.dumps(event.to_dict()) + "\n")
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        """Retained events in emission order, optionally one kind only."""
+        if kind is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted over the tracer's lifetime (pre-filter, pre-drop)."""
+        return sum(self.emitted_counts.values())
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (excludes kind-filtered emits)."""
+        if self._kinds is None:
+            return self.total_emitted - len(self._ring)
+        kept = sum(n for k, n in self.emitted_counts.items() if k in self._kinds)
+        return kept - len(self._ring)
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the retained ring to ``path`` as JSONL; returns line count."""
+        with open(path, "w") as fh:
+            for event in self._ring:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return len(self._ring)
+
+    def close(self) -> None:
+        """Flush and close the write-through JSONL file, if any."""
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+
+
+class NullTracer:
+    """The disabled sink: every emit is a no-op."""
+
+    enabled = False
+    capacity = 0
+    emitted_counts: dict[str, int] = {}
+
+    def emit(self, kind: str, time: float, cause: str | None = None, **fields) -> None:
+        pass
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def export_jsonl(self, path: str) -> int:
+        with open(path, "w"):
+            pass
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -98,6 +98,13 @@ def explore_point(
     result.violations.extend(
         verify_recovered(recovered, guaranteed, acceptable, touched)
     )
+    # Timing sanity: busy-time past elapsed simulated time means some
+    # recovery path double-charged the clock (the clamped utilization
+    # display would silently hide it).
+    assert disk.stats.busy_time <= disk.clock.now + 1e-9, (
+        f"disk busy_time {disk.stats.busy_time:.9f}s exceeds simulated "
+        f"time {disk.clock.now:.9f}s after recovery at cut={cut}"
+    )
     fs.unmount()
     check = check_filesystem(disk)
     if not check.ok:

@@ -103,15 +103,17 @@ def _drive(fs, disk: Disk, cpu: CpuModel, system: str) -> AndrewResult:
     return result
 
 
-def run_andrew(system: str = "lfs", *, cpu_seconds_per_op: float = 0.02) -> AndrewResult:
+def run_andrew(
+    system: str = "lfs", *, cpu_seconds_per_op: float = 0.02, obs=None
+) -> AndrewResult:
     """Run the Andrew-style benchmark on ``"lfs"`` or ``"ffs"``."""
     cpu = CpuModel(seconds_per_op=cpu_seconds_per_op)
     if system == "lfs":
         disk = Disk(DiskGeometry.wren4(num_blocks=32768))
-        fs = LFS.format(disk, LFSConfig(max_inodes=4096))
+        fs = LFS.format(disk, LFSConfig(max_inodes=4096), obs=obs)
     elif system == "ffs":
         disk = Disk(DiskGeometry.wren4(block_size=8192, num_blocks=16384))
-        fs = FFS.format(disk, FFSConfig(max_inodes=4096))
+        fs = FFS.format(disk, FFSConfig(max_inodes=4096), obs=obs)
     else:
         raise ValueError(f"unknown system {system!r}")
     return _drive(fs, disk, cpu, system)

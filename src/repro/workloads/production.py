@@ -120,8 +120,12 @@ def _lognormal_size(rng: random.Random, mean_kb: float) -> int:
     return max(256, min(size, 256 * 1024))
 
 
-def run_production(config: ProductionConfig) -> ProductionResult:
-    """Drive one synthetic production workload and gather Table 2 stats."""
+def run_production(config: ProductionConfig, *, obs=None) -> ProductionResult:
+    """Drive one synthetic production workload and gather Table 2 stats.
+
+    ``obs`` (a :class:`repro.obs.Observation`) traces the whole run,
+    including the aging phase — window it with the counters it carries.
+    """
     rng = random.Random(config.seed)
     disk_bytes = config.disk_mb * 1024 * 1024
     geo = DiskGeometry.wren4(num_blocks=disk_bytes // 4096)
@@ -139,6 +143,7 @@ def run_production(config: ProductionConfig) -> ProductionResult:
             clean_high_water=low_water * 2,
             segments_per_pass=8,
         ),
+        obs=obs,
     )
     capacity = fs.layout.num_segments * fs.config.segment_bytes
 

@@ -120,6 +120,7 @@ def run_smallfile(
     cpu_speedup: float = 1.0,
     cpu_seconds_per_op: float = 0.004,
     geometry: DiskGeometry | None = None,
+    obs=None,
 ) -> SmallFileResult:
     """Run the Figure 8 benchmark on ``"lfs"`` or ``"ffs"``.
 
@@ -143,6 +144,7 @@ def run_smallfile(
                 max_inodes=max(16384, num_files * 2),
                 cache_blocks=16384,
             ),
+            obs=obs,
         )
     elif system == "ffs":
         geo = geometry if geometry is not None else DiskGeometry.wren4(
@@ -155,6 +157,7 @@ def run_smallfile(
                 block_size=geo.block_size,
                 max_inodes=max(16384, num_files * 2),
             ),
+            obs=obs,
         )
     else:
         raise ValueError(f"unknown system {system!r} (want 'lfs' or 'ffs')")

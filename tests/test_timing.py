@@ -64,6 +64,14 @@ class TestIOStats:
         assert stats.utilization(0.5) == 1.0  # clamped
         assert stats.utilization(0.0) == 0.0
 
+    def test_raw_utilization_is_unclamped(self):
+        stats = IOStats(busy_time=1.0)
+        assert stats.raw_utilization(4.0) == pytest.approx(0.25)
+        # an accounting bug (busy > elapsed) must show through raw
+        assert stats.raw_utilization(0.5) == pytest.approx(2.0)
+        assert stats.raw_utilization(0.0) == 0.0
+        assert stats.utilization(0.5) == 1.0  # display value stays clamped
+
 
 class TestBandwidthReport:
     def test_bandwidth(self):
