@@ -43,7 +43,8 @@ from repro.simulator.sweep import (
 )
 from repro.tools.dumplog import dump_checkpoints, dump_segment, dump_superblock
 from repro.tools.lfsck import check_filesystem
-from repro.torture import WORKLOADS, run_torture
+from repro.tools.scrub import scrub_filesystem
+from repro.torture import TORTURE_MODES, WORKLOADS, run_torture
 from repro.disk.faults import FAULT_MODES
 
 
@@ -222,7 +223,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
-    """Offline check. Exit 0 = clean, 1 = inconsistencies, 2 = unreadable."""
+    """Offline check. Exit 0 = clean, 1 = inconsistencies, 2 = checksum
+    mismatches or an unreadable image (media damage, not mere logic bugs)."""
     try:
         disk = load_disk(args.image)
     except (OSError, ValueError, CorruptionError) as exc:
@@ -233,7 +235,24 @@ def cmd_fsck(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
+    if report.checksum_errors:
+        return 2
     return 0 if report.ok else 1
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Patrol-read an image's log and verify every recorded checksum."""
+    disk = load_disk(args.image)
+    fs = LFS.mount(disk)
+    report = scrub_filesystem(fs, rescue=args.rescue)
+    fs.unmount()
+    if args.rescue:
+        save_disk(disk, args.image)  # quarantine verdicts must persist
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
 
 
 def cmd_dump(args: argparse.Namespace) -> int:
@@ -373,9 +392,22 @@ def cmd_torture(args: argparse.Namespace) -> int:
     if args.json:
         import pathlib
 
+        # Points whose fault localized itself (DiskCrashed / MediaError
+        # carrying addr+op) are surfaced so a failure in CI names the
+        # exact block and operation, not just a digest mismatch.
+        fault_sites = [
+            {
+                "cut": p.cut,
+                "variant": p.variant,
+                "error_addr": p.error_addr,
+                "error_op": p.error_op,
+            }
+            for p in result.points
+            if p.error_addr is not None
+        ]
         out = pathlib.Path(args.json)
         path = record_bench(
-            "torture",
+            args.bench_name,
             wall_seconds=result.wall_seconds,
             results_dir=out.parent if out.suffix else out,
             workers=result.workers,
@@ -390,6 +422,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
                 "violations": result.violation_count,
                 "mean_recovery_seconds": round(result.mean_recovery_seconds, 6),
                 "outcome_digest": result.outcome_digest,
+                "fault_sites": fault_sites,
             },
         )
         if out.suffix:  # an explicit file name, not a directory
@@ -476,6 +509,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="print the report as JSON")
     p.set_defaults(func=cmd_fsck)
 
+    p = sub.add_parser(
+        "scrub",
+        help="patrol-read the log and verify every recorded checksum",
+        description=(
+            "Mount an image and re-read every partial write in the log, "
+            "verifying the summary CRCs and the per-block checksums, so "
+            "silent bit-rot and latent sector errors surface before the "
+            "data is needed. With --rescue, damaged segments have their "
+            "still-verifiable live blocks rewritten to the log head and "
+            "are quarantined. Exit status: 0 clean, 1 damage found."
+        ),
+    )
+    p.add_argument("image")
+    p.add_argument("--rescue", action="store_true", help="salvage and quarantine damaged segments")
+    p.add_argument("--json", action="store_true", help="print the report as JSON")
+    p.set_defaults(func=cmd_scrub)
+
     p = sub.add_parser("dump", help="inspect on-disk structures")
     p.add_argument("image")
     p.add_argument("--segment", type=int)
@@ -515,18 +565,22 @@ def build_parser() -> argparse.ArgumentParser:
             "Record a workload's write stream once, then replay it to many "
             "crash points (clean cuts, torn blocks, reordered requests), "
             "run recovery at each, and verify the recovered namespace "
-            "against a durability oracle plus a full lfsck. Deterministic: "
-            "the same --seed explores the same points with the same faults "
+            "against a durability oracle plus a full lfsck. The 'media' "
+            "variant instead replays the whole stream, ages the platter "
+            "with seeded bit-rot / latent / transient faults, and verifies "
+            "no read ever returns silently wrong data. Deterministic: the "
+            "same --seed explores the same points with the same faults "
             "at any worker count. Exit 1 on any oracle violation."
         ),
     )
     p.add_argument("--workload", default="smallfile", choices=WORKLOADS)
     p.add_argument("--sample", type=int, default=200, help="crash points to draw (population = cuts x variants)")
     p.add_argument("--exhaustive", action="store_true", help="explore every crash point, ignoring --sample")
-    p.add_argument("--variants", default=",".join(FAULT_MODES), help="comma-separated fault modes to explore")
+    p.add_argument("--variants", default=",".join(FAULT_MODES), help=f"comma-separated fault modes to explore (available: {','.join(TORTURE_MODES)})")
     p.add_argument("--seed", type=int, default=0, help="base seed; sample and per-point fault seeds derive from it")
     p.add_argument("--workers", type=int, default=None, help="process-pool size (default: $REPRO_SWEEP_WORKERS or cpu count)")
-    p.add_argument("--json", default="benchmarks/results", help="record BENCH_torture.json here (file or directory; '' disables)")
+    p.add_argument("--json", default="benchmarks/results", help="record BENCH_<name>.json here (file or directory; '' disables)")
+    p.add_argument("--bench-name", default="torture", help="bench name used in the JSON record")
     p.set_defaults(func=cmd_torture)
 
     return parser

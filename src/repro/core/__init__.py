@@ -10,26 +10,42 @@ Public entry points:
 
 from repro.core.config import CleaningPolicy, LFSConfig
 from repro.core.errors import (
+    AlreadyMountedError,
     CorruptionError,
+    DirectoryNotEmptyError,
     DiskRangeError,
     FileExistsLFSError,
     FileNotFoundLFSError,
+    InvalidOperationError,
+    IsADirectoryError_,
     LFSError,
+    MediaError,
     NoSpaceError,
+    NotADirectoryError_,
+    NotMountedError,
+    ReadOnlyError,
 )
 from repro.core.filesystem import LFS, StatResult
 from repro.core.recovery import RecoveryReport
 
 __all__ = [
     "LFS",
+    "AlreadyMountedError",
     "CleaningPolicy",
     "CorruptionError",
+    "DirectoryNotEmptyError",
     "DiskRangeError",
     "FileExistsLFSError",
     "FileNotFoundLFSError",
+    "InvalidOperationError",
+    "IsADirectoryError_",
     "LFSConfig",
     "LFSError",
+    "MediaError",
     "NoSpaceError",
+    "NotADirectoryError_",
+    "NotMountedError",
+    "ReadOnlyError",
     "RecoveryReport",
     "StatResult",
 ]

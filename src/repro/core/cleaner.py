@@ -16,13 +16,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.blocks import checksum
 from repro.core.config import CleaningPolicy
 from repro.core.constants import BlockKind
+from repro.core.errors import MediaError
 from repro.core.inode import unpack_inode_block
 from repro.core.summary import try_parse_summary
 from repro.obs.attribution import CLEANING_READ
-from repro.obs.events import CLEAN_PASS, CLEAN_SEGMENT
+from repro.obs.events import CLEAN_PASS, CLEAN_QUARANTINE, CLEAN_SEGMENT
 from repro.victims import LazyVictimHeap, partial_sort
+
+
+class _UnreadablePayload(Exception):
+    """Internal sentinel: a rescue declined to supply a damaged payload."""
+
+
+def _refuse_payload() -> bytes:
+    raise _UnreadablePayload()
 
 
 @dataclass
@@ -36,6 +46,9 @@ class CleanerStats:
     live_blocks_moved: int = 0
     selective_segments: int = 0
     cleaned_utilizations: list[float] = field(default_factory=list)
+    segments_quarantined: int = 0
+    blocks_rescued: int = 0
+    blocks_lost: int = 0
 
     @property
     def fraction_empty(self) -> float:
@@ -83,7 +96,7 @@ class Cleaner:
         cap = usage.segment_bytes
         for seg in usage.consume_score_dirty():
             rec = usage.get(seg)
-            if rec.clean:
+            if rec.clean or rec.quarantined:
                 self._victims.remove(seg)
             else:
                 # clamped so the ordering matches utilization() exactly,
@@ -188,7 +201,20 @@ class Cleaner:
                 if not chosen:
                     break
                 before = self._free_blocks()
-                cleaned += self._clean_pass(chosen)
+                try:
+                    cleaned += self._clean_pass(chosen)
+                except MediaError as exc:
+                    # A victim turned out to sit on failing media. Salvage
+                    # what still verifies and retire the segment; the next
+                    # iteration re-selects without it.
+                    if exc.addr is None:
+                        raise
+                    sick = fs.layout.segment_of(exc.addr)
+                    rec = fs.usage.get(sick)
+                    if self._writer_excluded(sick) or rec.clean or rec.quarantined:
+                        raise  # not a victim read — nothing to salvage here
+                    self.rescue_segment(sick)
+                    continue
                 self.stats.passes += 1
                 if self._free_blocks() <= before:
                     break  # no net gain: the disk is effectively full
@@ -309,20 +335,229 @@ class Cleaner:
             prev_seq = 0
             while offset < seg_blocks:
                 summary = try_parse_summary(block_at(offset), fs.config.block_size)
-                if summary is None or summary.seq <= prev_seq or summary.seq >= fs.writer.seq:
+                bad_walk = (
+                    summary is None
+                    or summary.seq <= prev_seq
+                    or summary.seq >= fs.writer.seq
+                    or offset + 1 + len(summary.entries) > seg_blocks
+                )
+                if bad_walk:
+                    # End of the segment's log — unless a later current-
+                    # epoch summary exists (peek-located: seqs within an
+                    # epoch strictly increase, so stale residue cannot
+                    # match), in which case the walk broke on a *rotted*
+                    # summary and ending here would strand every live
+                    # block after it. Escalate to a rescue instead.
+                    for off in range(offset + 1, seg_blocks):
+                        cand = try_parse_summary(
+                            fs.disk.peek(start + off), fs.config.block_size
+                        )
+                        if (
+                            cand is not None
+                            and prev_seq < cand.seq < fs.writer.seq
+                            and off + 1 + len(cand.entries) <= seg_blocks
+                        ):
+                            raise MediaError(
+                                "summary block failed to parse mid-segment "
+                                "during cleaning",
+                                addr=start + offset,
+                                op="read",
+                            )
                     break
                 n = len(summary.entries)
-                if offset + 1 + n > seg_blocks:
-                    break
                 if blocks is not None and not summary.verify(blocks[offset + 1 : offset + 1 + n]):
-                    break
+                    # A valid current-epoch summary whose payloads fail the
+                    # whole-write CRC is bit-rot, not a torn tail (the
+                    # active tail segment is never a victim). Ending the
+                    # walk here would silently strand every live block
+                    # after this point — escalate to a rescue instead.
+                    raise MediaError(
+                        "segment failed whole-write CRC during cleaning",
+                        addr=start + offset,
+                        op="read",
+                    )
                 prev_seq = summary.seq
                 for i, entry in enumerate(summary.entries):
                     addr = start + offset + 1 + i
-                    if self._revive(entry, addr, lambda i=i, off=offset: block_at(off + 1 + i)):
+
+                    def checked_payload(i=i, off=offset, e=entry):
+                        p = block_at(off + 1 + i)
+                        # Selective reads skip the whole-write CRC, so
+                        # verify each lazily fetched payload individually.
+                        if (
+                            blocks is None
+                            and e.block_crc
+                            and checksum([p]) != e.block_crc
+                        ):
+                            raise MediaError(
+                                "block failed CRC during selective cleaning",
+                                addr=start + off + 1 + i,
+                                op="read",
+                            )
+                        return p
+
+                    if self._revive(entry, addr, checked_payload):
                         moved += 1
                 offset += 1 + n
             return moved
+
+    # ------------------------------------------------------------------
+    # sick-segment rescue
+
+    def rescue_segment(self, seg_no: int) -> tuple[int, int]:
+        """Salvage a sick segment's verifiable live blocks, then quarantine.
+
+        Reads the segment block by block (one latent sector must not kill
+        the whole walk), verifies every payload against its summary's
+        per-block CRC, and re-queues the live survivors through the normal
+        log write path. The segment is then quarantined — permanently out
+        of both the clean pool and the cleaner's candidate set — and a
+        checkpoint persists the verdict and the moved blocks.
+
+        Returns ``(rescued, lost)``: live blocks moved vs. live blocks
+        that were unreadable or failed verification with no in-memory
+        copy to fall back on.
+        """
+        fs = self.fs
+        rec = fs.usage.get(seg_no)
+        if rec.quarantined:
+            return (0, 0)
+        was_in_cleaner = fs._in_cleaner
+        was_exempt = fs.writer.exempt
+        fs._in_cleaner = True  # no reentrant cleaning under the rescue
+        fs.writer.exempt = True  # the rescue may dip into the reserve
+        try:
+            rescued, lost = self._salvage(seg_no)
+            fs.flush(cleaning=True)
+            fs.usage.quarantine(seg_no)
+            self.stats.segments_quarantined += 1
+            self.stats.blocks_rescued += rescued
+            self.stats.blocks_lost += lost
+            if fs.disk.obs is not None:
+                fs.disk.obs.emit(
+                    CLEAN_QUARANTINE, segment=seg_no, rescued=rescued, lost=lost
+                )
+        finally:
+            fs._in_cleaner = was_in_cleaner
+            fs.writer.exempt = was_exempt
+        # Persist outside the exempt scope: an ordinary checkpoint must
+        # still fit, or the quarantine has eaten into the hard reserve.
+        fs.checkpoint()
+        return (rescued, lost)
+
+    def _salvage(self, seg_no: int) -> tuple[int, int]:
+        """Walk one sick segment, reviving verifiable live blocks."""
+        fs = self.fs
+        bs = fs.config.block_size
+        seg_blocks = fs.config.segment_blocks
+        start = fs.layout.segment_start(seg_no)
+        rescued = lost = 0
+        with fs._cause(CLEANING_READ):
+
+            def safe_read(i: int) -> bytes | None:
+                try:
+                    self.stats.blocks_read += 1
+                    return fs.disk.read_block(start + i)
+                except MediaError:
+                    return None
+
+            def find_resume(from_off: int, prev: int) -> int | None:
+                # Locate the next current-epoch summary past a damaged one
+                # (peek is a locator only; the resumed summary is re-read
+                # for real before anything is trusted). Seqs within an
+                # epoch strictly increase, so prev < seq < writer.seq
+                # cannot match stale residue.
+                for off in range(from_off + 1, seg_blocks):
+                    cand = try_parse_summary(fs.disk.peek(start + off), bs)
+                    if (
+                        cand is not None
+                        and prev < cand.seq < fs.writer.seq
+                        and off + 1 + len(cand.entries) <= seg_blocks
+                    ):
+                        return off
+                return None
+
+            offset = 0
+            prev_seq = 0
+            while offset < seg_blocks:
+                raw = safe_read(offset)
+                summary = (
+                    try_parse_summary(raw, bs) if raw is not None else None
+                )
+                if (
+                    summary is None
+                    or summary.seq <= prev_seq
+                    or summary.seq >= fs.writer.seq
+                    or offset + 1 + len(summary.entries) > seg_blocks
+                ):
+                    # An unreadable or invalid summary: the blocks it
+                    # described can no longer be identified, but writes
+                    # beyond it may still be salvageable.
+                    resume = find_resume(offset, prev_seq)
+                    if resume is None:
+                        break
+                    offset = resume
+                    continue
+                prev_seq = summary.seq
+                for i, entry in enumerate(summary.entries):
+                    addr = start + offset + 1 + i
+                    payload = safe_read(offset + 1 + i)
+                    ok = payload is not None and (
+                        not entry.block_crc or checksum([payload]) == entry.block_crc
+                    )
+                    if ok:
+                        if self._revive(entry, addr, lambda p=payload: p):
+                            rescued += 1
+                        continue
+                    if entry.kind in (BlockKind.INODE_MAP, BlockKind.SEG_USAGE):
+                        # Regenerated from the in-memory tables; the damaged
+                        # payload is never consulted.
+                        if self._revive(entry, addr, _refuse_payload):
+                            rescued += 1
+                        continue
+                    if entry.kind == BlockKind.DATA:
+                        cached = fs.cache.peek(entry.inum, entry.offset)
+                        if cached is not None and cached.dirty:
+                            continue  # a newer copy is already queued
+                        try:
+                            # A clean cached copy can stand in for the
+                            # damaged on-disk block.
+                            if self._revive(entry, addr, _refuse_payload):
+                                rescued += 1
+                                continue
+                        except _UnreadablePayload:
+                            pass
+                    if self._entry_live(entry, addr):
+                        lost += 1
+                offset += 1 + len(summary.entries)
+        return rescued, lost
+
+    def _entry_live(self, entry, addr: int) -> bool:
+        """Liveness probe mirroring :meth:`_revive`, without side effects."""
+        fs = self.fs
+        kind = entry.kind
+        if kind in (BlockKind.DATA, BlockKind.INDIRECT, BlockKind.DINDIRECT):
+            if not fs.imap.is_allocated(entry.inum):
+                return False
+            if fs.imap.version_of(entry.inum) != entry.version:
+                return False
+            if kind == BlockKind.DATA:
+                return fs.block_addr(entry.inum, entry.offset) == addr
+            fmap = fs.filemap(entry.inum)
+            if kind == BlockKind.DINDIRECT:
+                return fmap.inode.dindirect == addr
+            if entry.offset == 0:
+                return fmap.inode.indirect == addr
+            return fmap._load_l2()[entry.offset - 1] == addr
+        if kind == BlockKind.INODE:
+            return any(
+                fs.imap.get(inum).addr == addr for inum in fs.imap.allocated_inums()
+            )
+        if kind == BlockKind.INODE_MAP:
+            return fs.imap.block_addrs[entry.offset] == addr
+        if kind == BlockKind.SEG_USAGE:
+            return fs.usage.block_addrs[entry.offset] == addr
+        return False
 
     def _revive(self, entry, addr: int, get_payload) -> bool:
         """If the block at ``addr`` is live, queue it for rewriting."""

@@ -65,6 +65,10 @@ class LFSConfig:
             crash the battery holds the buffer up long enough to flush it
             and checkpoint, so no buffered writes are lost. A power cut
             that kills the disk itself still loses the in-flight write.
+        media_error_budget: unrecoverable media/corruption errors the
+            read path tolerates before the file system degrades to
+            read-only mode (writes then fail fast as ``ReadOnlyError``
+            instead of risking further damage). 0 disables degradation.
     """
 
     block_size: int = 4096
@@ -82,6 +86,7 @@ class LFSConfig:
     checkpoint_data_blocks: int = 0
     selective_read_utilization: float = 0.0
     battery_backed_buffer: bool = False
+    media_error_budget: int = 8
 
     def __post_init__(self) -> None:
         if self.block_size <= 0 or self.block_size % 512:
@@ -104,6 +109,8 @@ class LFSConfig:
             raise ValueError("checkpoint_data_blocks must be >= 0")
         if not 0.0 <= self.selective_read_utilization <= 1.0:
             raise ValueError("selective_read_utilization must be in [0, 1]")
+        if self.media_error_budget < 0:
+            raise ValueError("media_error_budget must be >= 0")
 
     @property
     def segment_blocks(self) -> int:

@@ -55,3 +55,42 @@ class DirectoryNotEmptyError(LFSError):
 
 class InvalidOperationError(LFSError):
     """The operation's arguments are structurally invalid."""
+
+
+class MediaError(LFSError):
+    """The device could not read or write a block (latent sector error).
+
+    Unlike :class:`CorruptionError` — where the device returned bytes that
+    failed validation — a media error means the device itself gave up.
+    ``addr`` and ``op`` localize the failure for diagnostics and torture
+    result records.
+    """
+
+    def __init__(self, message: str, *, addr: int | None = None, op: str | None = None):
+        if addr is not None and op is not None:
+            message = f"{message} [{op} of block {addr}]"
+        super().__init__(message)
+        self.addr = addr
+        self.op = op
+
+
+class ReadOnlyError(LFSError):
+    """The file system degraded to read-only mode (media error budget hit)."""
+
+
+__all__ = [
+    "LFSError",
+    "DiskRangeError",
+    "CorruptionError",
+    "NotMountedError",
+    "AlreadyMountedError",
+    "NoSpaceError",
+    "FileNotFoundLFSError",
+    "FileExistsLFSError",
+    "NotADirectoryError_",
+    "IsADirectoryError_",
+    "DirectoryNotEmptyError",
+    "InvalidOperationError",
+    "MediaError",
+    "ReadOnlyError",
+]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass
 
+from repro.core.blocks import checksum
 from repro.core.cache import BlockCache
 from repro.core.checkpoint import Checkpoint, read_latest_checkpoint, write_checkpoint
 from repro.core.cleaner import Cleaner
@@ -29,9 +30,11 @@ from repro.core.errors import (
     FileNotFoundLFSError,
     InvalidOperationError,
     IsADirectoryError_,
+    MediaError,
     NoSpaceError,
     NotADirectoryError_,
     NotMountedError,
+    ReadOnlyError,
 )
 from repro.core.inode import Inode, inodes_per_block, pack_inode_block, unpack_inode_block
 from repro.core.inode_map import InodeMap
@@ -136,6 +139,18 @@ class LFS:
         self._in_cleaner = False
         self._clean_retry_at = 0
         self._last_checkpoint_log_blocks = 0
+        # Sick-disk degradation state: unrecoverable errors seen on the
+        # read path; crossing the configured budget flips ``read_only``.
+        self.read_only = False
+        self.media_errors_seen = 0
+        # Segments whose on-disk summaries have been folded into the
+        # writer's CRC index (lazy back-fill for pre-mount writes).
+        self._crc_indexed_segments: set[int] = set()
+        #: log addresses no valid segment summary vouches for — either a
+        #: segment's unused tail (never read) or the footprint of a write
+        #: whose summary rotted away (reading those blocks as if intact
+        #: would be silent corruption, so the read path refuses).
+        self._tainted_addrs: set[int] = set()
 
     # ==================================================================
     # lifecycle
@@ -183,6 +198,7 @@ class LFS:
         config: LFSConfig | None = None,
         *,
         roll_forward: bool = True,
+        scavenge: bool = True,
         obs=None,
     ) -> "LFS":
         """Attach to an existing file system.
@@ -192,6 +208,12 @@ class LFS:
         ``config`` if given. With ``roll_forward=False`` the system
         discards everything written after the last checkpoint, like the
         paper's production configuration.
+
+        When *both* checkpoint regions are unreadable the mount falls back
+        to the scavenger (:func:`repro.core.recovery.scavenge`), rebuilding
+        the inode map and segment usage table from segment summaries alone;
+        pass ``scavenge=False`` to surface the :class:`CorruptionError`
+        instead.
         """
         sb = Superblock.from_bytes(disk.read_block(0))
         runtime = config if config is not None else LFSConfig()
@@ -211,6 +233,7 @@ class LFS:
             checkpoint_data_blocks=runtime.checkpoint_data_blocks,
             selective_read_utilization=runtime.selective_read_utilization,
             battery_backed_buffer=runtime.battery_backed_buffer,
+            media_error_budget=runtime.media_error_budget,
         )
         layout = compute_layout(merged, disk.geometry.num_blocks)
         if layout.num_segments != sb.num_segments or layout.segment_area_start != sb.segment_area_start:
@@ -218,7 +241,17 @@ class LFS:
         fs = cls(disk, merged, layout)
         if obs is not None:
             obs.attach(fs)
-        cp, was_b = read_latest_checkpoint(disk, layout)
+        try:
+            cp, was_b = read_latest_checkpoint(disk, layout)
+        except CorruptionError:
+            if not scavenge:
+                raise
+            from repro.core.recovery import scavenge as do_scavenge
+
+            fs._mounted = True
+            fs.last_recovery = do_scavenge(fs)
+            fs.checkpoint()
+            return fs
         fs._load_checkpoint(cp, was_b)
         fs._mounted = True
         if roll_forward:
@@ -228,19 +261,33 @@ class LFS:
             fs.last_recovery = report
             if report.partial_writes_replayed or report.dirops_applied:
                 fs.checkpoint()
+        # Capture the CRC index for every in-log segment while its
+        # summaries are known-good: a scrub can then convict a block whose
+        # own summary rots away later, including the final summary of a
+        # segment (nothing after it on disk to expose the break). Indexing
+        # that ran during checkpoint loading or roll-forward used the
+        # checkpoint's sequence bound, under which post-checkpoint writes
+        # look invalid — drop it and re-walk with the final cursor.
+        fs._crc_indexed_segments.clear()
+        fs._tainted_addrs.clear()
+        for seg_no in fs.usage.dirty_segments():
+            fs._index_segment_crcs(seg_no)
         return fs
 
     def _load_checkpoint(self, cp: Checkpoint, was_region_b: bool) -> None:
         """Initialize in-memory state from a checkpoint region."""
+        loaded: list[tuple[int, bytes]] = []
         for idx, addr in enumerate(cp.imap_addrs):
             if addr != NULL_ADDR:
                 payload = self.disk.read_block(addr)
                 self.imap.load_block(idx, payload)
+                loaded.append((addr, payload))
             self.imap.block_addrs[idx] = addr
         for idx, addr in enumerate(cp.usage_addrs):
             if addr != NULL_ADDR:
                 payload = self.disk.read_block(addr)
                 self.usage.load_block(idx, payload)
+                loaded.append((addr, payload))
             self.usage.block_addrs[idx] = addr
         self.imap._dirty_blocks.clear()
         for idx in range(self.usage.num_blocks):
@@ -254,6 +301,13 @@ class LFS:
         self._next_region_b = not was_region_b
         self._last_checkpoint_time = cp.timestamp
         self.disk.clock.advance_to(cp.timestamp)
+        # The map/table blocks came off the log, so their summaries carry
+        # per-block CRCs; verify them now that the write cursor (and with
+        # it the CRC index's sequence bound) is restored. Rot in
+        # checkpoint-referenced metadata becomes a detected mount failure
+        # instead of a silently garbage inode map.
+        for addr, payload in loaded:
+            self._verify_log_payload(addr, payload)
 
     def unmount(self) -> None:
         """Checkpoint and detach."""
@@ -295,6 +349,35 @@ class LFS:
         if not self._mounted:
             raise NotMountedError("file system is not mounted")
 
+    def _require_writable(self) -> None:
+        """Fail fast when the file system has degraded to read-only.
+
+        Internal maintenance (flush, checkpoint, cleaning, rescue) stays
+        allowed: persisting quarantine verdicts and already-buffered data
+        is safer than stranding them in memory. Only new application
+        mutations are refused.
+        """
+        self._require_mounted()
+        if self.read_only:
+            raise ReadOnlyError(
+                f"file system is read-only after {self.media_errors_seen} "
+                f"unrecoverable media errors (budget "
+                f"{self.config.media_error_budget})"
+            )
+
+    def _note_media_error(self) -> None:
+        """Count an unrecoverable read-path error against the budget."""
+        self.media_errors_seen += 1
+        budget = self.config.media_error_budget
+        if budget > 0 and self.media_errors_seen >= budget and not self.read_only:
+            self.read_only = True
+            if self.obs is not None:
+                self.obs.emit(
+                    "fs.readonly",
+                    media_errors=self.media_errors_seen,
+                    budget=budget,
+                )
+
     def _cause(self, name: str):
         """Scope disk time under an attribution cause (no-op when untraced)."""
         if self.obs is None:
@@ -307,7 +390,117 @@ class LFS:
     def _read_log_block(self, addr: int) -> bytes:
         if addr in (NULL_ADDR, PENDING_ADDR):
             raise CorruptionError(f"attempt to read sentinel address {addr:#x}")
-        return self.disk.read_block(addr)
+        try:
+            payload = self.disk.read_block(addr)
+        except MediaError:
+            self._note_media_error()
+            raise
+        self._verify_log_payload(addr, payload)
+        return payload
+
+    def _verify_log_payload(self, addr: int, payload: bytes) -> None:
+        """Check a log block against the CRC its segment summary recorded."""
+        expected = self.writer.block_crcs.get(addr)
+        if expected is None and addr >= self.layout.segment_area_start:
+            self._index_segment_crcs(self.layout.segment_of(addr))
+            expected = self.writer.block_crcs.get(addr)
+            if expected is None and addr in self._tainted_addrs:
+                # A live block whose summary rotted away: its recorded CRC
+                # is gone with the summary, so there is no way to tell
+                # intact bytes from rot. Refuse rather than guess.
+                self._note_media_error()
+                raise CorruptionError(
+                    f"block {addr} is not vouched for by any valid segment "
+                    f"summary (its summary rotted away); refusing unverifiable "
+                    f"read"
+                )
+        # CRC 0 doubles as "unknown" (images written before per-entry CRCs
+        # existed carry zeros in those bytes) — skip verification for it.
+        if expected and checksum([payload]) != expected:
+            self._note_media_error()
+            raise CorruptionError(
+                f"checksum mismatch reading block {addr}: stored payload does "
+                f"not match the CRC its segment summary recorded (bit-rot?)"
+            )
+
+    def _index_segment_crcs(self, seg_no: int) -> None:
+        """Back-fill the CRC index from one segment's on-disk summaries.
+
+        Runs once per segment, via :meth:`Disk.peek` — on a real system the
+        summary block is read alongside the first access to the segment and
+        cached, so no extra simulated I/O is charged. Stale summaries from
+        a previous epoch of a reused segment are cut off by the monotonic
+        sequence-number rule (global ``seq`` ordering guarantees them
+        lower) and by the current-write-cursor bound.
+        """
+        if seg_no in self._crc_indexed_segments:
+            return
+        self._crc_indexed_segments.add(seg_no)
+        from repro.core.summary import try_parse_summary
+
+        start = self.layout.segment_start(seg_no)
+        seg_blocks = self.config.segment_blocks
+        offset = 0
+        prev_seq = -1
+        sink = self.writer.block_crcs
+        while offset < seg_blocks:
+            raw = self.disk.peek(start + offset)
+            summary = try_parse_summary(raw, self.config.block_size)
+            if (
+                summary is None
+                or summary.seq <= prev_seq
+                or summary.seq >= self.writer.seq
+                or offset + 1 + len(summary.entries) > seg_blocks
+            ):
+                if (
+                    summary is not None
+                    and summary.seq > prev_seq
+                    and summary.seq >= self.writer.seq
+                    and offset + 1 + len(summary.entries) <= seg_blocks
+                ):
+                    # A write from beyond the restored cursor — the
+                    # checkpoint tail before roll-forward has replayed it.
+                    # Stale residue always carries a lower seq than the
+                    # cursor, so this is not rot: stop without tainting
+                    # and let the post-recovery re-index walk it with the
+                    # advanced bound.
+                    break
+                # A parseable summary further on with a later (still
+                # in-bounds) seq proves the walk broke on a rotted summary
+                # rather than the end of the segment's log: stale residue
+                # always carries a lower seq.
+                resume = None
+                for off in range(offset + 1, seg_blocks):
+                    cand = try_parse_summary(
+                        self.disk.peek(start + off), self.config.block_size
+                    )
+                    if (
+                        cand is not None
+                        and prev_seq < cand.seq < self.writer.seq
+                        and off + 1 + len(cand.entries) <= seg_blocks
+                    ):
+                        resume = off
+                        break
+                # Nothing from here to the resume point (or segment end)
+                # is vouched for by a valid summary. For an unused tail
+                # that is moot — no live block points there — but a live
+                # block in this range lost its CRC to summary rot and
+                # must not be read back as if intact.
+                end = resume if resume is not None else seg_blocks
+                self._tainted_addrs.update(range(start + offset, start + end))
+                if resume is None:
+                    break
+                offset = resume
+                continue
+            addr = start + offset
+            # setdefault: this session's write-through CRCs are fresher
+            # than anything parsed off the platter.
+            sink.setdefault(addr, checksum([raw]))
+            for i, entry in enumerate(summary.entries):
+                if entry.block_crc:
+                    sink.setdefault(addr + 1 + i, entry.block_crc)
+            prev_seq = summary.seq
+            offset += 1 + len(summary.entries)
 
     def get_inode(self, inum: int) -> Inode:
         """Fetch an inode, reading it from the log if necessary."""
@@ -470,7 +663,7 @@ class LFS:
 
     def create(self, path: str, *, ftype: FileType = FileType.REGULAR) -> int:
         """Create an empty file (or directory); returns the inode number."""
-        self._require_mounted()
+        self._require_writable()
         parent, name = self._resolve_parent(path)
         dirfmt.validate_name(name)
         if self._dir_state(parent).lookup(name) is not None:
@@ -511,7 +704,7 @@ class LFS:
 
     def write_inum(self, inum: int, data: bytes, offset: int = 0) -> None:
         """Write by inode number (avoids path resolution in benchmarks)."""
-        self._require_mounted()
+        self._require_writable()
         if offset < 0:
             raise InvalidOperationError("negative offset")
         inode = self.get_inode(inum)
@@ -591,7 +784,7 @@ class LFS:
 
     def truncate(self, path: str, size: int = 0) -> None:
         """Shrink a file; truncating to zero bumps the uid version."""
-        self._require_mounted()
+        self._require_writable()
         inum = self._resolve(path)
         inode = self.get_inode(inum)
         if inode.is_directory:
@@ -616,7 +809,7 @@ class LFS:
 
     def unlink(self, path: str) -> None:
         """Remove a directory entry; frees the file when nlink hits zero."""
-        self._require_mounted()
+        self._require_writable()
         parent, name = self._resolve_parent(path)
         inum = self._dir_state(parent).lookup(name)
         if inum is None:
@@ -656,7 +849,7 @@ class LFS:
 
     def link(self, existing: str, newpath: str) -> None:
         """Create a hard link to an existing regular file."""
-        self._require_mounted()
+        self._require_writable()
         inum = self._resolve(existing)
         inode = self.get_inode(inum)
         if inode.is_directory:
@@ -681,7 +874,7 @@ class LFS:
 
     def rename(self, oldpath: str, newpath: str) -> None:
         """Atomically move a file or directory (Section 4.2)."""
-        self._require_mounted()
+        self._require_writable()
         old_parent, old_name = self._resolve_parent(oldpath)
         new_parent, new_name = self._resolve_parent(newpath)
         dirfmt.validate_name(new_name)

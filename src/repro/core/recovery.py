@@ -9,6 +9,12 @@ recovered inode against the previous version; and the directory-operation
 log is replayed to restore consistency between directory entries and inode
 reference counts — including removing the entry for a file whose inode was
 never written, the one operation that cannot be completed.
+
+This module also holds the disaster-recovery scavenger (:func:`scavenge`):
+when *both* checkpoint regions are unreadable, the whole segment area is
+scanned for intact partial writes and the entire surviving log history is
+replayed in sequence order from an empty file system, rebuilding the inode
+map and segment usage table with no checkpoint at all.
 """
 
 from __future__ import annotations
@@ -21,14 +27,16 @@ from repro.core.constants import (
     NO_SEGMENT,
     NULL_ADDR,
     PENDING_ADDR,
+    ROOT_INUM,
     BlockKind,
     DirOp,
 )
 from repro.core.dirlog import DirOpRecord, unpack_block
-from repro.core.errors import CorruptionError
+from repro.core.errors import CorruptionError, MediaError
 from repro.core.inode import Inode, unpack_inode_block
 from repro.core.mapping import FileMap
 from repro.core.summary import SegmentSummary, try_parse_summary
+from repro.obs.events import RECOVER_SCAVENGE
 
 
 @dataclass
@@ -44,6 +52,7 @@ class RecoveryReport:
     files_freed: int = 0
     elapsed: float = 0.0
     segments_scanned: int = 0
+    scavenged: bool = False
 
 
 @dataclass
@@ -137,7 +146,7 @@ def _read_old_inode(fs, inum: int, addr: int) -> Inode | None:
     """Read the pre-crash inode instance at ``addr``, if parseable."""
     try:
         payload = fs._read_log_block(addr)
-    except CorruptionError:
+    except (CorruptionError, MediaError):
         return None
     for candidate in unpack_inode_block(payload, fs.config.block_size):
         if candidate.inum == inum:
@@ -154,17 +163,19 @@ def _replay_inode(fs, inode: Inode, addr: int, report: RecoveryReport) -> None:
         return  # already current (e.g. double replay)
     bs = fs.config.block_size
 
+    # All reads happen before any accounting mutation, so a media error
+    # mid-replay propagates out with the usage table still consistent.
+    new_blocks = _inode_block_addrs(fs, inode)
     old_inode = fs._inodes.get(inode.inum)
     old_addr = slot.addr
     if old_inode is None and old_addr not in (NULL_ADDR, PENDING_ADDR):
         old_inode = _read_old_inode(fs, inode.inum, old_addr)
-    if old_inode is not None:
-        for _, block_addr in _inode_block_addrs(fs, old_inode):
-            fs.usage.remove_live(fs.layout.segment_of(block_addr), bs)
+    old_blocks = [] if old_inode is None else _inode_block_addrs(fs, old_inode)
+
+    for _, block_addr in old_blocks:
+        fs.usage.remove_live(fs.layout.segment_of(block_addr), bs)
     if old_addr not in (NULL_ADDR, PENDING_ADDR):
         fs.usage.remove_live(fs.layout.segment_of(old_addr), INODE_SIZE)
-
-    new_blocks = _inode_block_addrs(fs, inode)
     for _, block_addr in new_blocks:
         fs.usage.add_live(fs.layout.segment_of(block_addr), bs, inode.mtime)
     fs.usage.add_live(fs.layout.segment_of(addr), INODE_SIZE, inode.mtime)
@@ -283,4 +294,163 @@ def roll_forward(fs, cp: Checkpoint) -> RecoveryReport:
             last.segment, end_offset, last.summary.seq + 1, next_seg
         )
     report.elapsed = fs.disk.clock.now - start_time
+    return report
+
+
+def _scan_all_segments(fs, report: RecoveryReport) -> list[_PartialWrite]:
+    """Find every intact partial write on the device, segment by segment.
+
+    Unlike roll-forward, the log threading cannot be trusted here (it
+    starts from a checkpoint we no longer have), so each segment is walked
+    independently from its first block. Within one segment the writes of
+    the current epoch are contiguous from offset 0 with strictly
+    increasing sequence numbers; any stale summary left over from an
+    earlier life of the segment carries a *lower* seq (sequence numbers
+    are global and never reused), so requiring monotonic growth cuts the
+    walk off exactly at the epoch boundary. Fully stale segments (cleaned
+    but not yet rewritten) replay harmlessly: the global seq-ordered
+    replay supersedes every block they describe.
+
+    Each write is verified against its whole-write CRC; torn tails, rotted
+    payloads, and writes hit by latent sector errors are dropped (counted
+    in ``torn_writes_dropped``) rather than replayed wrong.
+    """
+    writes: list[_PartialWrite] = []
+    seg_blocks = fs.config.segment_blocks
+    bs = fs.config.block_size
+
+    def find_resume(seg_start: int, from_off: int, prev: int) -> int | None:
+        # A damaged summary must not hide the intact writes after it:
+        # locate the next current-epoch summary by peek (locator only —
+        # the resumed block is re-read for real), relying on seqs within
+        # an epoch strictly increasing so stale residue cannot match.
+        for off in range(from_off + 1, seg_blocks - 1):
+            cand = try_parse_summary(fs.disk.peek(seg_start + off), bs)
+            if (
+                cand is not None
+                and cand.seq > prev
+                and off + 1 + len(cand.entries) <= seg_blocks
+            ):
+                return off
+        return None
+
+    for seg in range(fs.layout.num_segments):
+        report.segments_scanned += 1
+        start = fs.layout.segment_start(seg)
+        offset = 0
+        prev_seq = 0
+        while offset < seg_blocks - 1:
+            try:
+                block = fs.disk.read_block(start + offset)
+            except MediaError:
+                block = None
+            summary = (
+                try_parse_summary(block, bs) if block is not None else None
+            )
+            bad_walk = (
+                summary is None
+                or summary.seq <= prev_seq
+                or offset + 1 + len(summary.entries) > seg_blocks
+            )
+            if bad_walk:
+                resume = find_resume(start, offset, prev_seq)
+                if resume is None:
+                    break
+                report.torn_writes_dropped += 1
+                offset = resume
+                continue
+            n = len(summary.entries)
+            try:
+                full = fs.disk.read_blocks(start + offset + 1, n) if n else []
+            except MediaError:
+                full = None
+            if full is not None and summary.verify(full):
+                payloads = {
+                    i: full[i]
+                    for i, entry in enumerate(summary.entries)
+                    if entry.kind in _METADATA_KINDS
+                }
+                writes.append(
+                    _PartialWrite(
+                        summary=summary, segment=seg, offset=offset, payloads=payloads
+                    )
+                )
+            else:
+                report.torn_writes_dropped += 1
+            prev_seq = summary.seq
+            offset += 1 + n
+    return writes
+
+
+def scavenge(fs) -> RecoveryReport:
+    """Rebuild the file system from segment summaries alone (lfsck of last
+    resort, for when *both* checkpoint regions are unreadable).
+
+    The whole segment area is scanned for intact partial writes, which are
+    then replayed in global sequence order against the empty in-memory
+    state ``fs`` was constructed with — the same replay primitives as
+    roll-forward, applied to the entire surviving history instead of a
+    checkpoint's suffix. The inode map, segment usage table, directory
+    consistency, allocation hint, and log cursor all come back out of the
+    scan; quarantine verdicts recorded only in the lost usage table do
+    not (a following scrub can re-establish them).
+
+    The caller is responsible for writing a fresh checkpoint afterwards.
+    Raises :class:`CorruptionError` when no intact partial write survives.
+    """
+    report = RecoveryReport(scavenged=True)
+    start_time = fs.disk.clock.now
+    writes = _scan_all_segments(fs, report)
+    if not writes:
+        raise CorruptionError(
+            "scavenge failed: no intact partial write found in the segment area"
+        )
+    writes.sort(key=lambda pw: pw.summary.seq)
+    report.partial_writes_replayed = len(writes)
+    # Catch the clock up to the newest surviving write so recovered
+    # mtimes and usage-table age stamps stay in the past.
+    fs.disk.clock.advance_to(max(pw.summary.write_time for pw in writes))
+
+    for pw in writes:
+        base = fs.layout.segment_start(pw.segment) + pw.offset + 1
+        for i, payload in sorted(pw.payloads.items()):
+            entry = pw.summary.entries[i]
+            if entry.kind == BlockKind.DIROP_LOG:
+                for record in unpack_block(payload):
+                    _replay_dirop(fs, record, report)
+            elif entry.kind == BlockKind.INODE:
+                for inode in unpack_inode_block(payload, fs.config.block_size):
+                    try:
+                        _replay_inode(fs, inode, base + i, report)
+                    except (CorruptionError, MediaError):
+                        # This instance's block tree is unreadable; an
+                        # earlier intact instance (if any) stays current.
+                        continue
+
+    last = writes[-1]
+    end_offset = last.offset + 1 + len(last.summary.entries)
+    next_seg = (
+        None if last.summary.next_segment == NO_SEGMENT else last.summary.next_segment
+    )
+    if next_seg is not None and not (
+        0 <= next_seg < fs.layout.num_segments and fs.usage.get(next_seg).clean
+    ):
+        next_seg = None  # the recorded successor is gone; reserve afresh
+    fs.writer.restore_cursor(last.segment, end_offset, last.summary.seq + 1, next_seg)
+
+    allocated = fs.imap.allocated_inums()
+    fs.imap._next_inum = (max(allocated) + 1) if allocated else ROOT_INUM + 1
+    # Every map/usage block must make it into the fresh checkpoint: the
+    # old on-disk copies are unreachable without the lost regions.
+    fs.imap.mark_all_dirty()
+    fs.usage.mark_all_dirty()
+
+    report.elapsed = fs.disk.clock.now - start_time
+    if fs.obs is not None:
+        fs.obs.emit(
+            RECOVER_SCAVENGE,
+            segments=report.segments_scanned,
+            inodes=report.inodes_recovered,
+            partial_writes=report.partial_writes_replayed,
+        )
     return report

@@ -16,9 +16,12 @@ from repro.core.blocks import require
 from repro.core.constants import NULL_ADDR, SEG_USAGE_ENTRY_SIZE
 from repro.core.errors import InvalidOperationError
 
-# live_bytes, last_write_time, pad
-_ENTRY = struct.Struct("<Qd8x")
+# live_bytes, last_write_time, flags, pad — the quarantine flag lives in a
+# former pad byte, so the entry keeps its on-disk size.
+_ENTRY = struct.Struct("<QdB7x")
 assert _ENTRY.size == SEG_USAGE_ENTRY_SIZE
+
+_FLAG_QUARANTINED = 0x01
 
 
 @dataclass
@@ -27,12 +30,15 @@ class SegmentUsage:
 
     ``clean`` and ``in_log`` are in-memory state: a clean segment holds no
     live data and is available for writing; a segment "in the log" has been
-    (partially) written since it was last clean.
+    (partially) written since it was last clean. ``quarantined`` is
+    persistent: the segment suffered an unrecoverable media error and must
+    never be allocated or cleaned again.
     """
 
     live_bytes: int = 0
     last_write: float = 0.0
     clean: bool = True
+    quarantined: bool = False
 
     @property
     def empty(self) -> bool:
@@ -98,6 +104,10 @@ class SegmentUsageTable:
     def mark_clean(self, seg_no: int) -> None:
         """Return a segment to the clean pool (after cleaning)."""
         seg = self.get(seg_no)
+        if seg.quarantined:
+            raise InvalidOperationError(
+                f"segment {seg_no} is quarantined and cannot rejoin the clean pool"
+            )
         seg.live_bytes = 0
         seg.clean = True
         self._dirty_blocks.add(self.block_of(seg_no))
@@ -106,7 +116,26 @@ class SegmentUsageTable:
     def mark_in_use(self, seg_no: int) -> None:
         """Take a clean segment as the current log tail."""
         seg = self.get(seg_no)
+        if seg.quarantined:
+            raise InvalidOperationError(
+                f"segment {seg_no} is quarantined and cannot take log traffic"
+            )
         seg.clean = False
+        self._dirty_blocks.add(self.block_of(seg_no))
+        self._score_dirty.add(seg_no)
+
+    def quarantine(self, seg_no: int) -> None:
+        """Permanently retire a segment after an unrecoverable media error.
+
+        The segment leaves both the clean pool and the cleaner's candidate
+        set; whatever live bytes it still claimed are gone (the rescuer
+        re-appends surviving blocks before calling this). Persisted in the
+        on-disk entry, so the verdict survives checkpoints and remounts.
+        """
+        seg = self.get(seg_no)
+        seg.live_bytes = 0
+        seg.clean = False
+        seg.quarantined = True
         self._dirty_blocks.add(self.block_of(seg_no))
         self._score_dirty.add(seg_no)
 
@@ -123,8 +152,18 @@ class SegmentUsageTable:
         return sum(1 for s in self._segments if s.clean)
 
     def dirty_segments(self) -> list[int]:
-        """Segments holding (possibly zero) live data from the log."""
-        return [i for i, s in enumerate(self._segments) if not s.clean]
+        """Segments holding (possibly zero) live data from the log.
+
+        Quarantined segments are excluded: they are neither clean nor
+        cleanable, and nothing should ever schedule work against them.
+        """
+        return [
+            i for i, s in enumerate(self._segments) if not s.clean and not s.quarantined
+        ]
+
+    def quarantined_segments(self) -> list[int]:
+        """Segments retired by media errors, ascending."""
+        return [i for i, s in enumerate(self._segments) if s.quarantined]
 
     def total_live_bytes(self) -> int:
         """Live bytes across the whole segment area."""
@@ -136,7 +175,7 @@ class SegmentUsageTable:
             raise InvalidOperationError("bins must be >= 1")
         counts = [0] * bins
         for i, seg in enumerate(self._segments):
-            if seg.clean:
+            if seg.clean or seg.quarantined:
                 continue
             u = self.utilization(i)
             idx = min(bins - 1, int(u * bins))
@@ -178,7 +217,8 @@ class SegmentUsageTable:
         for seg_no in range(first, first + self.entries_per_block):
             if seg_no < self.num_segments:
                 seg = self._segments[seg_no]
-                parts.append(_ENTRY.pack(seg.live_bytes, seg.last_write))
+                flags = _FLAG_QUARANTINED if seg.quarantined else 0
+                parts.append(_ENTRY.pack(seg.live_bytes, seg.last_write, flags))
             else:
                 parts.append(bytes(SEG_USAGE_ENTRY_SIZE))
         return b"".join(parts).ljust(block_size, b"\0")
@@ -200,8 +240,9 @@ class SegmentUsageTable:
         )
         self._score_dirty.update(range(first, first + count))
         for i in range(count):
-            live, last = _ENTRY.unpack_from(payload, i * SEG_USAGE_ENTRY_SIZE)
+            live, last, flags = _ENTRY.unpack_from(payload, i * SEG_USAGE_ENTRY_SIZE)
             seg = self._segments[first + i]
             seg.live_bytes = live
             seg.last_write = last
-            seg.clean = live == 0
+            seg.quarantined = bool(flags & _FLAG_QUARANTINED)
+            seg.clean = live == 0 and not seg.quarantined

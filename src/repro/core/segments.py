@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.blocks import checksum
 from repro.core.config import DiskLayout, LFSConfig
 from repro.core.constants import NO_SEGMENT, BlockKind
 from repro.core.errors import NoSpaceError
@@ -93,6 +94,12 @@ class LogWriter:
         self.next_segment: int | None = None  # reserved successor (threading)
         self.offset = 0  # blocks already used in the current segment
         self.seq = 1  # next partial-write sequence number
+        # Write-through CRC index: addr -> CRC-32 of the payload written
+        # there (summary blocks included). The read path verifies against
+        # this in memory — no extra I/O, so log timing is unchanged — and
+        # the file system lazily back-fills it from on-disk summaries for
+        # segments written before this mount.
+        self.block_crcs: dict[int, int] = {}
         self._capacity = summary_capacity(config.block_size)
         # Segments held back from normal traffic so the cleaner always has
         # workspace; the file system sets ``exempt`` while cleaning.
@@ -214,6 +221,9 @@ class LogWriter:
                 else NO_SEGMENT,
             )
             summary_block = summary.pack(payloads, self.config.block_size)
+            self.block_crcs[start_addr] = checksum([summary_block])
+            for i, entry in enumerate(summary.entries):
+                self.block_crcs[start_addr + 1 + i] = entry.block_crc
 
             self.disk.write_blocks(start_addr, [summary_block] + payloads)
             self.usage.add_live(self.current_segment, 0, now)  # stamp write time

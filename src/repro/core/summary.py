@@ -10,7 +10,7 @@ described payloads makes a torn partial write self-invalidating.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.blocks import checksum, require
 from repro.core.constants import (
@@ -21,12 +21,20 @@ from repro.core.constants import (
 )
 from repro.core.errors import CorruptionError, InvalidOperationError
 
-# magic, pad, seq, write_time, nentries, crc, youngest_mtime, next_segment
-_HEADER = struct.Struct("<I4xQdIIdQ")
+# magic, self_crc, seq, write_time, nentries, crc, youngest_mtime,
+# next_segment — ``self_crc`` covers the whole summary block (with the
+# field itself zeroed) and lives in former pad bytes, so the header keeps
+# its size. It makes rot *inside* the summary — entry identities, the
+# payload CRC, the threading pointer — detectable, which payload CRCs
+# alone cannot see. Zero means "unwritten" (pre-CRC images), and such
+# summaries are accepted unchecked for backward compatibility.
+_HEADER = struct.Struct("<IIQdIIdQ")
 assert _HEADER.size == SUMMARY_HEADER_SIZE
 
-# kind, pad, inum, offset, version
-_ENTRY = struct.Struct("<B7xQQQ")
+# kind, pad, block_crc, inum, offset, version — the per-block CRC lives in
+# what used to be pad bytes, so the entry (and the whole summary) keeps its
+# size and the log's timing is untouched by read-path integrity checking.
+_ENTRY = struct.Struct("<B3xIQQQ")
 assert _ENTRY.size == SUMMARY_ENTRY_SIZE
 
 
@@ -43,25 +51,32 @@ class SummaryEntry:
     file block number for data, the logical index for indirect blocks, the
     map/table block index for inode-map and usage blocks, zero otherwise.
     ``version`` is the owning file's uid version at write time (zero for
-    structures without one).
+    structures without one). ``block_crc`` is the CRC-32 of the described
+    block's payload, letting reads and the scrubber verify each block
+    individually (silent bit-rot becomes a detected error).
     """
 
     kind: BlockKind
     inum: int = 0
     offset: int = 0
     version: int = 0
+    block_crc: int = 0
 
     def pack(self) -> bytes:
-        return _ENTRY.pack(int(self.kind), self.inum, self.offset, self.version)
+        return _ENTRY.pack(
+            int(self.kind), self.block_crc, self.inum, self.offset, self.version
+        )
 
     @classmethod
     def unpack(cls, raw: bytes, pos: int) -> "SummaryEntry":
-        kind_raw, inum, offset, version = _ENTRY.unpack_from(raw, pos)
+        kind_raw, block_crc, inum, offset, version = _ENTRY.unpack_from(raw, pos)
         try:
             kind = BlockKind(kind_raw)
         except ValueError as exc:
             raise CorruptionError(f"bad block kind {kind_raw} in summary") from exc
-        return cls(kind=kind, inum=inum, offset=offset, version=version)
+        return cls(
+            kind=kind, inum=inum, offset=offset, version=version, block_crc=block_crc
+        )
 
 
 @dataclass
@@ -102,26 +117,49 @@ class SegmentSummary:
                 f"{summary_capacity(block_size)}"
             )
         self.crc = checksum(payloads)
-        header = _HEADER.pack(
-            SUMMARY_MAGIC,
-            self.seq,
-            self.write_time,
-            len(self.entries),
-            self.crc,
-            self.youngest_mtime,
-            self.next_segment,
-        )
+        self.entries = [
+            replace(e, block_crc=checksum([p]))
+            for e, p in zip(self.entries, payloads)
+        ]
         body = b"".join(e.pack() for e in self.entries)
-        return (header + body).ljust(block_size, b"\0")
+
+        def header(self_crc: int) -> bytes:
+            return _HEADER.pack(
+                SUMMARY_MAGIC,
+                self_crc,
+                self.seq,
+                self.write_time,
+                len(self.entries),
+                self.crc,
+                self.youngest_mtime,
+                self.next_segment,
+            )
+
+        # Self-CRC over the final block contents with the field zeroed.
+        block = (header(0) + body).ljust(block_size, b"\0")
+        return header(checksum([block])) + block[_HEADER.size :]
 
     @classmethod
     def unpack(cls, payload: bytes, block_size: int) -> "SegmentSummary":
         """Parse a summary block; raises :class:`CorruptionError` if invalid."""
         require(len(payload) >= SUMMARY_HEADER_SIZE, "summary block truncated")
-        magic, seq, write_time, nentries, crc, youngest, next_segment = _HEADER.unpack_from(
-            payload, 0
-        )
+        (
+            magic,
+            self_crc,
+            seq,
+            write_time,
+            nentries,
+            crc,
+            youngest,
+            next_segment,
+        ) = _HEADER.unpack_from(payload, 0)
         require(magic == SUMMARY_MAGIC, "bad summary magic")
+        if self_crc:
+            zeroed = payload[:4] + b"\0\0\0\0" + payload[8:]
+            require(
+                checksum([zeroed]) == self_crc,
+                "summary block fails its self-CRC (bit-rot inside the summary)",
+            )
         require(0 <= nentries <= summary_capacity(block_size), "summary entry count out of range")
         entries = []
         pos = SUMMARY_HEADER_SIZE

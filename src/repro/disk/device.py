@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.errors import DiskRangeError
-from repro.disk.faults import CrashInjector, DiskCrashed
+from repro.core.errors import DiskRangeError, MediaError
+from repro.disk.faults import CrashInjector, DiskCrashed, MediaFaultModel
 from repro.disk.geometry import DiskGeometry
-from repro.disk.timing import IOStats, SimClock
+from repro.disk.timing import IOStats, RetryPolicy, SimClock
 
 
 class Disk:
@@ -34,6 +34,8 @@ class Disk:
         self.clock = clock if clock is not None else SimClock()
         self.stats = IOStats()
         self.faults = CrashInjector()
+        self.media = MediaFaultModel()
+        self.retry = RetryPolicy()
         # Optional observability hook (repro.obs.Observation). None means
         # disabled: the only cost on the request path is this one check.
         self.obs = None
@@ -102,6 +104,45 @@ class Disk:
                 self.clock.now, to_block, nblocks, elapsed, write=write, seeked=seeked
             )
 
+    def _media_check(self, addr: int, count: int, op: str) -> None:
+        """Run the sick-disk gauntlet for one request, with bounded retry.
+
+        Dormant (no registered faults) this is a single attribute check.
+        Otherwise each attempt probes every block of the request; a media
+        error waits out the policy's backoff (clock time, *not* busy
+        time — the arm is recovering, not transferring) and retries.
+        Exhausting the attempts surfaces the last :class:`MediaError`.
+        """
+        if not self.media.active:
+            return
+        attempt = 1
+        while True:
+            try:
+                for i in range(count):
+                    self.media.check_access(addr + i, op)
+                return
+            except MediaError as exc:
+                if attempt >= self.retry.attempts:
+                    self.stats.media_errors += 1
+                    if self.obs is not None:
+                        self.obs.emit(
+                            "media.error", addr=exc.addr, op=op, attempts=attempt
+                        )
+                    raise
+                attempt += 1
+                backoff = self.retry.backoff_before(attempt)
+                self.clock.advance(backoff)
+                self.stats.retries += 1
+                self.stats.retry_time += backoff
+                if self.obs is not None:
+                    self.obs.emit(
+                        "media.retry",
+                        addr=exc.addr,
+                        op=op,
+                        attempt=attempt,
+                        backoff=backoff,
+                    )
+
     # ------------------------------------------------------------------
     # I/O
 
@@ -114,6 +155,7 @@ class Disk:
         """
         self._check_range(addr)
         self.faults.check_read(addr)
+        self._media_check(addr, 1, "read")
         self._account(addr, 1, write=False, force_latency=force_latency)
         return self._blocks.get(addr, self._zero_block)
 
@@ -121,6 +163,7 @@ class Disk:
         """Read ``count`` contiguous blocks as one streamed request."""
         self._check_range(addr, count)
         self.faults.check_read(addr)
+        self._media_check(addr, count, "read")
         self._account(addr, count, write=False)
         return [self._blocks.get(addr + i, self._zero_block) for i in range(count)]
 
@@ -131,6 +174,7 @@ class Disk:
         """
         self._check_range(addr)
         data = self._check_payload(data)
+        self._media_check(addr, 1, "write")
         self._persist(addr, data)
         self._account(addr, 1, write=True, force_latency=force_latency)
 
@@ -165,6 +209,7 @@ class Disk:
             raise DiskRangeError("empty multi-block write")
         self._check_range(addr, len(blocks))
         payloads = [self._check_payload(b) for b in blocks]
+        self._media_check(addr, len(payloads), "write")
         self._account(addr, len(payloads), write=True)
         for i in self.faults.request_order(len(payloads)):
             self._persist(addr + i, payloads[i])
@@ -176,6 +221,16 @@ class Disk:
         """Read block contents without advancing time (for tests/tools)."""
         self._check_range(addr)
         return self._blocks.get(addr, self._zero_block)
+
+    def corrupt_block(self, addr: int, payload: bytes) -> None:
+        """Silently replace stored bytes — no time, no stats, no faults.
+
+        This is the bit-rot injection channel: the device's own write path
+        never ran, so nothing above it can know the contents changed until
+        a checksum fails.
+        """
+        self._check_range(addr)
+        self._blocks[addr] = self._check_payload(payload)
 
     def written_addresses(self) -> Iterable[int]:
         """Addresses of every block that has ever been written."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core.errors import LFSError
+from repro.core.errors import LFSError, MediaError
 
 #: Supported fault modes for :meth:`CrashInjector.arm_after_writes`.
 FAULT_MODES = ("clean", "torn", "reorder")
@@ -150,3 +150,129 @@ class CrashInjector:
             self._writes_remaining = None
             raise DiskCrashed("injected crash: write limit reached", addr=addr, op="write")
         self._writes_remaining -= 1
+
+
+# ----------------------------------------------------------------------
+# sick-disk media faults
+
+
+class MediaFaultModel:
+    """Seeded, deterministic model of a sick (but powered) disk.
+
+    Three failure classes real drives exhibit, orthogonal to power cuts:
+
+    * **latent sector errors** — a block is permanently unreadable (and
+      unwritable: the sector is gone); every access raises
+      :class:`~repro.core.errors.MediaError`, no matter how often retried;
+    * **transient I/O errors** — an access to a block fails the first *k*
+      attempts and then succeeds, modelling recoverable positioning or ECC
+      hiccups that a bounded retry policy should absorb;
+    * **silent bit-rot** — handled at injection time
+      (:func:`inject_media_faults` flips seeded bytes *in the stored
+      image*); the device happily returns the rotted bytes, so only
+      checksum verification above the device can catch it.
+
+    The model is dormant by default: ``active`` stays False until a fault
+    is registered, and the device skips all media checks while it is.
+    """
+
+    def __init__(self) -> None:
+        self.latent: set[int] = set()
+        #: addr -> number of future accesses that still fail
+        self.transient: dict[int, int] = {}
+        #: addrs whose stored payload was silently rotted (bookkeeping for
+        #: tests and scrub reports; the device never consults this)
+        self.rotted: set[int] = set()
+
+    @property
+    def active(self) -> bool:
+        """True once any latent or transient fault is registered."""
+        return bool(self.latent) or bool(self.transient)
+
+    def add_latent(self, addr: int) -> None:
+        """Mark one block as a latent (permanent) sector error."""
+        self.latent.add(addr)
+
+    def add_transient(self, addr: int, failures: int) -> None:
+        """Make the next ``failures`` accesses of ``addr`` fail."""
+        if failures < 1:
+            raise ValueError("failures must be positive")
+        self.transient[addr] = failures
+
+    def clear(self) -> None:
+        """Forget all registered faults (rot stays in the image)."""
+        self.latent.clear()
+        self.transient.clear()
+        self.rotted.clear()
+
+    def check_access(self, addr: int, op: str) -> None:
+        """Raise :class:`MediaError` if this access of ``addr`` fails.
+
+        Transient counters tick down on every access, so a retry loop
+        observes fail, fail, ..., success; latent sectors never recover.
+        """
+        if addr in self.latent:
+            raise MediaError("latent sector error", addr=addr, op=op)
+        remaining = self.transient.get(addr)
+        if remaining is not None:
+            if remaining <= 1:
+                del self.transient[addr]
+            else:
+                self.transient[addr] = remaining - 1
+            raise MediaError("transient I/O error", addr=addr, op=op)
+
+
+def inject_media_faults(
+    disk,
+    *,
+    seed: int,
+    rot: int = 0,
+    latent: int = 0,
+    transient: int = 0,
+    transient_failures: int = 2,
+    candidates: list[int] | None = None,
+) -> dict[str, list[int]]:
+    """Seed a populated disk with media faults, fully reproducibly.
+
+    Draws disjoint victim sets from ``candidates`` (default: every block
+    address the image has ever written, sorted) with ``random.Random(seed)``:
+    ``rot`` blocks get 1–3 seeded byte flips persisted silently into the
+    stored image, ``latent`` blocks become permanently unreadable, and
+    ``transient`` blocks fail their next ``transient_failures`` accesses.
+
+    Returns ``{"rot": [...], "latent": [...], "transient": [...]}`` so a
+    test can check detection has no false negatives or positives.
+    """
+    from repro.core.errors import DiskRangeError
+
+    rng = random.Random(seed)
+    if candidates is None:
+        candidates = sorted(disk.written_addresses())
+    need = rot + latent + transient
+    if need > len(candidates):
+        raise ValueError(
+            f"asked for {need} fault sites but only {len(candidates)} candidate blocks"
+        )
+    victims = rng.sample(sorted(candidates), need)
+    plan = {
+        "rot": sorted(victims[:rot]),
+        "latent": sorted(victims[rot : rot + latent]),
+        "transient": sorted(victims[rot + latent :]),
+    }
+    for addr in plan["rot"]:
+        original = disk.peek(addr)
+        if not original:
+            raise DiskRangeError(f"cannot rot empty block {addr}")
+        payload = bytearray(original)
+        for _ in range(rng.randint(1, 3)):
+            off = rng.randrange(len(payload))
+            payload[off] ^= 1 << rng.randrange(8)
+        while bytes(payload) == original:  # flips may cancel; rot must rot
+            payload[rng.randrange(len(payload))] ^= 1 << rng.randrange(8)
+        disk.corrupt_block(addr, bytes(payload))
+        disk.media.rotted.add(addr)
+    for addr in plan["latent"]:
+        disk.media.add_latent(addr)
+    for addr in plan["transient"]:
+        disk.media.add_transient(addr, transient_failures)
+    return plan

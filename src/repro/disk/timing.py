@@ -60,6 +60,13 @@ class IOStats:
     busy_time: float = 0.0
     seek_time: float = 0.0
     transfer_time: float = 0.0
+    # Sick-disk counters: ``retry_time`` is simulated seconds spent in
+    # retry backoff. It advances the clock but is *not* part of
+    # ``busy_time`` — busy-time stays the sum of successfully served
+    # requests, so per-cause attribution still adds up.
+    retries: int = 0
+    retry_time: float = 0.0
+    media_errors: int = 0
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
@@ -74,6 +81,9 @@ class IOStats:
             busy_time=self.busy_time,
             seek_time=self.seek_time,
             transfer_time=self.transfer_time,
+            retries=self.retries,
+            retry_time=self.retry_time,
+            media_errors=self.media_errors,
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
@@ -89,6 +99,9 @@ class IOStats:
             busy_time=self.busy_time - earlier.busy_time,
             seek_time=self.seek_time - earlier.seek_time,
             transfer_time=self.transfer_time - earlier.transfer_time,
+            retries=self.retries - earlier.retries,
+            retry_time=self.retry_time - earlier.retry_time,
+            media_errors=self.media_errors - earlier.media_errors,
         )
 
     @property
@@ -115,6 +128,33 @@ class IOStats:
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` seconds the disk was busy (clamped for display)."""
         return min(1.0, self.raw_utilization(elapsed))
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential simulated-time backoff.
+
+    An access that raises a media error is retried up to ``attempts - 1``
+    times; before re-attempt *n* the device waits
+    ``backoff * multiplier**(n - 1)`` simulated seconds (charged to the
+    clock, tallied in :attr:`IOStats.retry_time`). Transient errors cost
+    disk time, not correctness; latent sector errors exhaust the budget
+    and surface as :class:`~repro.core.errors.MediaError`.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.005
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.backoff < 0 or self.multiplier <= 0:
+            raise ValueError("backoff must be >= 0 and multiplier > 0")
+
+    def backoff_before(self, attempt: int) -> float:
+        """Seconds to wait before re-attempt number ``attempt`` (2, 3, ...)."""
+        return self.backoff * self.multiplier ** (attempt - 2)
 
 
 @dataclass

@@ -17,6 +17,12 @@ kind               fields
 ``checkpoint.write``  ``seq, region, blocks, timestamp``
 ``cache.evict``    ``inum, fbn``
 ``cache.flush``    ``dirty, items, cleaning``
+``media.retry``    ``addr, op, attempt, backoff``
+``media.error``    ``addr, op, attempts``
+``clean.quarantine``  ``segment, rescued, lost``
+``scrub.segment``  ``segment, blocks, bad``
+``recover.scavenge``  ``segments, inodes, partial_writes``
+``fs.readonly``    ``media_errors, budget``
 =================  ====================================================
 
 ``log.write``'s ``kinds`` maps :class:`~repro.core.constants.BlockKind`
@@ -38,6 +44,12 @@ CLEAN_SEGMENT = "clean.segment"
 CHECKPOINT_WRITE = "checkpoint.write"
 CACHE_EVICT = "cache.evict"
 CACHE_FLUSH = "cache.flush"
+MEDIA_RETRY = "media.retry"
+MEDIA_ERROR = "media.error"
+CLEAN_QUARANTINE = "clean.quarantine"
+SCRUB_SEGMENT = "scrub.segment"
+RECOVER_SCAVENGE = "recover.scavenge"
+FS_READONLY = "fs.readonly"
 
 EVENT_KINDS = (
     DISK_READ,
@@ -49,6 +61,12 @@ EVENT_KINDS = (
     CHECKPOINT_WRITE,
     CACHE_EVICT,
     CACHE_FLUSH,
+    MEDIA_RETRY,
+    MEDIA_ERROR,
+    CLEAN_QUARANTINE,
+    SCRUB_SEGMENT,
+    RECOVER_SCAVENGE,
+    FS_READONLY,
 )
 
 

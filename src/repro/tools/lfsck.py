@@ -12,7 +12,14 @@ Reads only on-disk bytes (no file-system state) and verifies:
    inode, link counts match entry counts, and every non-root live inode
    is reachable from the root;
 6. the segment usage table's live-byte counts are consistent with the
-   actual live data (within the block-rounding granularity).
+   actual live data (within the block-rounding granularity), no live file
+   block sits in a quarantined segment, and
+7. every current-epoch partial write in a live segment matches its
+   summary CRCs. A failing write that sits at the very end of the
+   post-checkpoint log is a *torn tail* — the expected residue of a crash,
+   which roll-forward will drop — and is reported as a warning; a failing
+   write anywhere else is silent corruption and is reported in
+   ``checksum_errors`` (the CLI maps these to exit code 2).
 
 All reads use ``disk.peek`` so checking never perturbs simulated time.
 """
@@ -22,13 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core import directory as dirfmt
-from repro.core.blocks import unpack_addrs
+from repro.core.blocks import checksum, unpack_addrs
 from repro.core.checkpoint import read_checkpoint
-from repro.core.constants import INODE_SIZE, NULL_ADDR, ROOT_INUM
+from repro.core.constants import INODE_SIZE, NO_SEGMENT, NULL_ADDR, ROOT_INUM
 from repro.core.errors import CorruptionError
 from repro.core.inode import Inode, addrs_per_indirect, unpack_inode_block
 from repro.core.inode_map import InodeMap
 from repro.core.seg_usage import SegmentUsageTable
+from repro.core.summary import try_parse_summary
 from repro.core.superblock import Superblock
 from repro.disk.device import Disk
 
@@ -43,6 +51,9 @@ class CheckReport:
     live_inodes: int = 0
     live_blocks: int = 0
     checkpoint_seq: int = 0
+    # Block addresses whose contents fail a recorded CRC (bit-rot); a torn
+    # tail is *not* listed here — it lands in ``warnings`` instead.
+    checksum_errors: list[int] = field(default_factory=list)
 
     def error(self, message: str) -> None:
         self.ok = False
@@ -60,6 +71,7 @@ class CheckReport:
             "live_inodes": self.live_inodes,
             "live_blocks": self.live_blocks,
             "checkpoint_seq": self.checkpoint_seq,
+            "checksum_errors": list(self.checksum_errors),
         }
 
     def render(self) -> str:
@@ -134,6 +146,28 @@ def _file_blocks(view: _PeekDisk, block_size: int, inode: Inode) -> list[tuple[s
     return out
 
 
+def _next_summary_offset(
+    read, start: int, from_offset: int, seg_blocks: int, prev_seq: int, bs: int
+) -> int | None:
+    """Scan forward for the next current-epoch summary after a bad block.
+
+    Sequence numbers are global and strictly increasing, so any parseable
+    summary with ``seq > prev_seq`` belongs to the current epoch — stale
+    residue from a segment's earlier life always carries a lower seq. A
+    hit means the walk broke on a *damaged* summary rather than the end
+    of the log, and tells us where to resume.
+    """
+    for off in range(from_offset + 1, seg_blocks):
+        cand = try_parse_summary(read(start + off), bs)
+        if (
+            cand is not None
+            and cand.seq > prev_seq
+            and off + 1 + len(cand.entries) <= seg_blocks
+        ):
+            return off
+    return None
+
+
 def check_filesystem(disk: Disk) -> CheckReport:
     """Verify an unmounted LFS disk image; returns a :class:`CheckReport`."""
     report = CheckReport()
@@ -177,6 +211,11 @@ def check_filesystem(disk: Disk) -> CheckReport:
 
     owners: dict[int, int] = {}  # block addr -> owning inum
     inodes: dict[int, Inode] = {}
+    # Every block something current claims: file data/indirects, inode
+    # blocks, and the checkpoint's inode-map and usage-table blocks.
+    live_addrs: set[int] = {
+        a for a in best.imap_addrs + best.usage_addrs if a != NULL_ADDR
+    }
     expected_live = [0] * layout.num_segments
 
     def in_log(addr: int) -> bool:
@@ -197,6 +236,7 @@ def check_filesystem(disk: Disk) -> CheckReport:
             )
         inodes[inum] = inode
         report.live_inodes += 1
+        live_addrs.add(entry.addr)
         expected_live[layout.segment_of(entry.addr)] += INODE_SIZE
         for kind, addr in _file_blocks(view, bs, inode):
             if not in_log(addr):
@@ -207,6 +247,7 @@ def check_filesystem(disk: Disk) -> CheckReport:
                     f"block {addr} claimed by both inode {owners[addr]} and {inum}"
                 )
             owners[addr] = inum
+            live_addrs.add(addr)
             report.live_blocks += 1
             expected_live[layout.segment_of(addr)] += bs
 
@@ -259,12 +300,115 @@ def check_filesystem(disk: Disk) -> CheckReport:
 
     # 5. usage-table consistency (the map/table/log blocks themselves are
     # live too, so the on-disk count may exceed the file-data estimate;
-    # it must never be lower).
+    # it must never be lower). Quarantined segments must hold nothing live:
+    # the rescue moved every surviving block out before retiring them.
     for seg_no in range(layout.num_segments):
-        recorded = usage.get(seg_no).live_bytes
-        if recorded + bs < expected_live[seg_no]:
+        rec = usage.get(seg_no)
+        if rec.quarantined:
+            if expected_live[seg_no]:
+                report.error(
+                    f"segment {seg_no}: quarantined but files still own "
+                    f"{expected_live[seg_no]} bytes in it"
+                )
+            continue
+        if rec.live_bytes + bs < expected_live[seg_no]:
             report.error(
-                f"segment {seg_no}: usage table records {recorded} live bytes "
-                f"but files own at least {expected_live[seg_no]}"
+                f"segment {seg_no}: usage table records {rec.live_bytes} live "
+                f"bytes but files own at least {expected_live[seg_no]}"
+            )
+
+    # 6. log checksums: walk the current-epoch partial writes of every
+    # live segment (plus the checkpoint's tail and its reserved successor,
+    # which may carry post-checkpoint writes the table knows nothing
+    # about) and verify each against its summary's CRCs.
+    suspects = {
+        seg_no
+        for seg_no in range(layout.num_segments)
+        if not usage.get(seg_no).clean and not usage.get(seg_no).quarantined
+    }
+    if 0 <= best.tail_segment < layout.num_segments:
+        suspects.add(best.tail_segment)
+    if best.next_segment != NO_SEGMENT and 0 <= best.next_segment < layout.num_segments:
+        suspects.add(best.next_segment)
+
+    for seg_no in sorted(suspects):
+        start = layout.segment_start(seg_no)
+        offset = 0
+        prev_seq = 0
+        # (summary offset, seq, implicated addrs) for each failing write
+        bad_writes: list[tuple[int, int, list[int]]] = []
+        last_write_offset = -1
+        covered: set[int] = set()  # addrs some walked write accounts for
+        while offset < layout.segment_blocks:
+            summary = try_parse_summary(view.read(start + offset), bs)
+            if (
+                summary is None
+                or summary.seq <= prev_seq
+                or offset + 1 + len(summary.entries) > layout.segment_blocks
+            ):
+                resume = _next_summary_offset(
+                    view.read, start, offset, layout.segment_blocks, prev_seq, bs
+                )
+                if resume is None:
+                    break  # genuine end of this segment's log — or is it?
+                # A later current-epoch write exists, so the walk broke on
+                # a summary block that rot made unparseable.
+                bad_writes.append((offset, prev_seq + 1, [start + offset]))
+                covered.update(range(start + offset, start + resume))
+                offset = resume
+                continue
+            prev_seq = summary.seq
+            last_write_offset = offset
+            covered.update(
+                range(start + offset, start + offset + 1 + len(summary.entries))
+            )
+            payloads = [
+                view.read(start + offset + 1 + i)
+                for i in range(len(summary.entries))
+            ]
+            if not summary.verify(payloads):
+                bad = [
+                    start + offset + 1 + i
+                    for i, entry in enumerate(summary.entries)
+                    if entry.block_crc and checksum([payloads[i]]) != entry.block_crc
+                ]
+                # All payloads individually intact -> the summary block
+                # itself carries the damage.
+                bad_writes.append((offset, summary.seq, bad if bad else [start + offset]))
+            offset += 1 + len(summary.entries)
+        for write_offset, seq, bad_addrs in bad_writes:
+            if write_offset == last_write_offset and seq >= best.log_seq:
+                # The newest write on the device failing its CRC is the
+                # expected residue of a crash, not rot.
+                report.warn(
+                    f"segment {seg_no}: torn tail at offset {write_offset} "
+                    f"(post-checkpoint seq {seq}; roll-forward will drop it)"
+                )
+            else:
+                report.checksum_errors.extend(bad_addrs)
+                report.error(
+                    f"segment {seg_no}: write at offset {write_offset} fails its "
+                    f"summary CRC (blocks {bad_addrs})"
+                )
+        # Every live block must be described by some walked summary. A
+        # stranded one means the walk ended early — i.e. the unparseable
+        # block it stopped on was a *rotted summary*, not the end of the
+        # log (the one case the CRC checks above cannot see, because the
+        # CRCs lived in the block that rotted).
+        stranded = sorted(
+            a
+            for a in live_addrs
+            if start <= a < start + layout.segment_blocks and a not in covered
+        )
+        if stranded:
+            # The stranded blocks' own CRCs rotted away with the summary,
+            # so none of them can be verified: implicate them all.
+            bad_summary = start + offset
+            report.checksum_errors.append(bad_summary)
+            report.checksum_errors.extend(stranded)
+            report.error(
+                f"segment {seg_no}: block {bad_summary} is unparseable but "
+                f"live blocks {stranded} lie beyond it — its summary rotted, "
+                f"stranding them unverifiable"
             )
     return report

@@ -14,6 +14,7 @@ from repro.torture.oracle import (
 )
 from repro.torture.record import Recording, RecordingDisk, TortureRecorder
 from repro.torture.runner import (
+    TORTURE_MODES,
     PointResult,
     TortureResult,
     explore_point,
@@ -30,6 +31,7 @@ __all__ = [
     "RecordingDisk",
     "TortureRecorder",
     "TortureResult",
+    "TORTURE_MODES",
     "WORKLOADS",
     "crash_state_bounds",
     "explore_point",

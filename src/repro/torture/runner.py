@@ -23,18 +23,27 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.core.errors import LFSError
+from repro.core.config import compute_layout
+from repro.core.errors import LFSError, MediaError
 from repro.core.filesystem import LFS
-from repro.disk.faults import FAULT_MODES, DiskCrashed
+from repro.disk.faults import FAULT_MODES, DiskCrashed, inject_media_faults
 from repro.simulator.sweep import derive_point_seed, resolve_workers
 from repro.tools.lfsck import check_filesystem
+from repro.tools.scrub import scrub_filesystem
 from repro.torture.oracle import (
+    DIR,
     crash_state_bounds,
     snapshot_namespace,
     verify_recovered,
 )
 from repro.torture.record import Recording
 from repro.torture.workloads import record_workload
+
+#: Every variant the torture sweep understands: the crash-fault modes the
+#: injector can arm mid-stream, plus ``media`` — replay the whole stream,
+#: then age the platter with seeded bit-rot, latent sectors, and transient
+#: errors before the next mount.
+TORTURE_MODES = FAULT_MODES + ("media",)
 
 
 @dataclass
@@ -48,13 +57,28 @@ class PointResult:
     recovery_elapsed: float = 0.0  # simulated disk seconds spent in roll-forward
     partial_writes_replayed: int = 0
     torn_writes_dropped: int = 0
+    #: where the fault surfaced: block address and operation carried by the
+    #: DiskCrashed / MediaError that fired at this point (None if none did,
+    #: or the error did not localize itself). Diagnostics only — these are
+    #: deliberately not part of the digest.
+    error_addr: int | None = None
+    error_op: str | None = None
+    # media-variant outcome counters (zero for the crash variants)
+    damage_found: int = 0
+    blocks_rescued: int = 0
+    paths_degraded: int = 0
 
     def digest_line(self) -> str:
         """A stable one-line fingerprint (feeds the run digest)."""
-        return (
+        line = (
             f"{self.cut}:{self.variant}:{int(self.ok)}:"
             f"{len(self.violations)}:{self.recovery_elapsed:.9f}"
         )
+        if self.variant == "media":
+            # Extend (rather than change) the fingerprint so the crash
+            # variants' digest stays comparable with pre-media baselines.
+            line += f":{self.damage_found}:{self.blocks_rescued}:{self.paths_degraded}"
+        return line
 
 
 def explore_point(
@@ -66,20 +90,26 @@ def explore_point(
     crash (the injector never fires), which checks the oracle against an
     orderly-but-unflushed device.
     """
+    if variant == "media":
+        return _explore_media_point(recording, cut, point_seed)
     disk = recording.fresh_disk()
     if cut < recording.total_blocks:
         disk.crash(after_writes=cut, mode=variant, seed=point_seed)
+    crash_exc: DiskCrashed | None = None
     try:
         for addr, payloads in recording.requests:
             if len(payloads) == 1:
                 disk.write_block(addr, payloads[0])
             else:
                 disk.write_blocks(addr, list(payloads))
-    except DiskCrashed:
-        pass
+    except DiskCrashed as exc:
+        crash_exc = exc
     disk.power_on()
 
     result = PointResult(cut=cut, variant=variant)
+    if crash_exc is not None:
+        result.error_addr = crash_exc.addr
+        result.error_op = crash_exc.op
     guaranteed, acceptable, touched = crash_state_bounds(
         recording.ops, recording.barriers, cut
     )
@@ -109,6 +139,91 @@ def explore_point(
     check = check_filesystem(disk)
     if not check.ok:
         result.violations.extend(f"lfsck: {msg}" for msg in check.errors)
+    result.ok = not result.violations
+    return result
+
+
+def _explore_media_point(
+    recording: Recording, cut: int, point_seed: int
+) -> PointResult:
+    """Replay the whole stream, then age the platter and remount.
+
+    Unlike the crash variants, ``cut`` only varies the seeded fault plan
+    (each point derives its own seed): the stream persists in full, then
+    seeded bit-rot, a latent sector, and a transient error land on the
+    written image before the next mount. The oracle question changes from
+    durability to *honesty*: a read may fail with a typed error (detected
+    damage) or surface an acceptable earlier value (a roll-forward write
+    dropped because its summary rotted), but returned bytes matching no
+    acceptable value mean the checksums let silent corruption through —
+    the one outcome the defense stack promises is impossible.
+    """
+    disk = recording.fresh_disk()
+    for addr, payloads in recording.requests:
+        if len(payloads) == 1:
+            disk.write_block(addr, payloads[0])
+        else:
+            disk.write_blocks(addr, list(payloads))
+
+    result = PointResult(cut=cut, variant="media")
+    guaranteed, acceptable, _ = crash_state_bounds(
+        recording.ops, recording.barriers, recording.total_blocks
+    )
+    area_start = compute_layout(
+        recording.config, recording.geometry.num_blocks
+    ).segment_area_start
+    candidates = sorted(a for a in disk.written_addresses() if a >= area_start)
+    inject_media_faults(
+        disk, seed=point_seed, rot=2, latent=1, transient=1, candidates=candidates
+    )
+
+    def note(exc: Exception) -> None:
+        if result.error_addr is None and isinstance(exc, MediaError):
+            result.error_addr = exc.addr
+            result.error_op = exc.op
+
+    try:
+        fs = LFS.mount(disk, recording.config)
+    except LFSError as exc:
+        # Refusing to mount damaged metadata is the defense working, not
+        # a violation; everything the image held is (detectably) lost.
+        note(exc)
+        result.paths_degraded = len(guaranteed)
+        return result
+    report = fs.last_recovery
+    if report is not None:
+        result.recovery_elapsed = report.elapsed
+        result.partial_writes_replayed = report.partial_writes_replayed
+        result.torn_writes_dropped = report.torn_writes_dropped
+
+    try:
+        scrub = scrub_filesystem(fs, rescue=True)
+        result.damage_found = (
+            len(scrub.corrupt_blocks)
+            + len(scrub.corrupt_summaries)
+            + len(scrub.unreadable_blocks)
+        )
+        result.blocks_rescued = scrub.blocks_rescued
+    except LFSError as exc:
+        note(exc)
+
+    for path in sorted(guaranteed):
+        allowed = acceptable.get(path, {guaranteed[path]})
+        try:
+            got = DIR if fs.stat(path).is_directory else fs.read(path)
+        except LFSError as exc:
+            note(exc)
+            result.paths_degraded += 1
+            continue
+        if got not in allowed:
+            result.violations.append(
+                f"media: {path} returned data matching no acceptable value "
+                f"(silent corruption slipped past the checksums)"
+            )
+    assert disk.stats.busy_time <= disk.clock.now + 1e-9, (
+        f"disk busy_time {disk.stats.busy_time:.9f}s exceeds simulated "
+        f"time {disk.clock.now:.9f}s after media point cut={cut}"
+    )
     result.ok = not result.violations
     return result
 
@@ -149,8 +264,8 @@ def select_points(
     them. Each point gets its own derived fault seed.
     """
     for v in variants:
-        if v not in FAULT_MODES:
-            raise ValueError(f"unknown fault variant {v!r} (want one of {FAULT_MODES})")
+        if v not in TORTURE_MODES:
+            raise ValueError(f"unknown fault variant {v!r} (want one of {TORTURE_MODES})")
     population = [
         (cut, variant)
         for cut in range(recording.total_blocks + 1)

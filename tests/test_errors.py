@@ -1,0 +1,81 @@
+"""The exception hierarchy: one base class, stable public surface.
+
+Callers are promised that every error the library raises derives from
+:class:`LFSError` and is importable from ``repro.core`` — these tests pin
+that contract so a refactor cannot silently fork the hierarchy.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.core
+from repro.core import errors
+
+
+def public_exceptions():
+    return [
+        obj
+        for name, obj in vars(errors).items()
+        if inspect.isclass(obj)
+        and issubclass(obj, Exception)
+        and not name.startswith("_")
+    ]
+
+
+class TestHierarchy:
+    def test_every_public_exception_derives_from_lfserror(self):
+        for exc in public_exceptions():
+            assert issubclass(exc, errors.LFSError), exc.__name__
+
+    def test_all_matches_the_module_surface(self):
+        exported = set(errors.__all__)
+        defined = {e.__name__ for e in public_exceptions()}
+        assert exported == defined
+
+    def test_media_and_readonly_are_exported(self):
+        assert "MediaError" in errors.__all__
+        assert "ReadOnlyError" in errors.__all__
+
+    def test_every_exception_importable_from_repro_core(self):
+        for name in errors.__all__:
+            assert hasattr(repro.core, name), name
+            assert getattr(repro.core, name) is getattr(errors, name)
+
+    def test_one_except_clause_catches_everything(self):
+        for exc in public_exceptions():
+            if exc is errors.LFSError:
+                continue
+            kwargs = {}
+            try:
+                instance = exc("boom", **kwargs)
+            except TypeError:
+                instance = exc("boom")
+            with pytest.raises(errors.LFSError):
+                raise instance
+
+
+class TestLocalizedErrors:
+    def test_media_error_carries_addr_and_op(self):
+        exc = errors.MediaError("read failed", addr=42, op="read")
+        assert exc.addr == 42 and exc.op == "read"
+        assert "read of block 42" in str(exc)
+
+    def test_media_error_without_location_keeps_plain_message(self):
+        exc = errors.MediaError("device gone")
+        assert exc.addr is None and exc.op is None
+        assert str(exc) == "device gone"
+
+    def test_disk_crashed_carries_addr_and_op(self):
+        from repro.disk.faults import DiskCrashed
+
+        exc = DiskCrashed("injected crash", addr=7, op="write")
+        assert isinstance(exc, errors.LFSError)
+        assert exc.addr == 7 and exc.op == "write"
+        assert "write of block 7" in str(exc)
+
+    def test_readonly_error_is_distinct_from_corruption(self):
+        assert not issubclass(errors.ReadOnlyError, errors.CorruptionError)
+        assert not issubclass(errors.CorruptionError, errors.ReadOnlyError)
