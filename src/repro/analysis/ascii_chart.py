@@ -110,3 +110,51 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3g}" if abs(cell) < 1000 else f"{cell:.0f}"
     return str(cell)
+
+
+#: Utilization decile glyphs for :func:`render_heatmap`: "." is exactly
+#: empty, 1-9 are deciles, "#" is (nearly) full.
+_HEAT_GLYPHS = ".123456789#"
+
+
+def render_heatmap(
+    utils: Sequence[float],
+    *,
+    quarantined: Iterable[int] = (),
+    clean: Iterable[int] = (),
+    current: int | None = None,
+    width: int = 64,
+    title: str = "segment utilization",
+) -> str:
+    """Render per-segment utilizations as a glyph map, one cell a segment.
+
+    Deciles render as ``.123456789#``; clean segments show ``_``,
+    quarantined ones ``Q``, and the writer's current tail ``*`` — so one
+    glance shows the log's shape: where live data clusters, where the
+    clean pool sits, and which segments the cleaner should want.
+    """
+    if not utils:
+        return "(no segments)"
+    quarantined = set(quarantined)
+    clean = set(clean)
+    cells = []
+    for seg_no, u in enumerate(utils):
+        if seg_no == current:
+            cells.append("*")
+        elif seg_no in quarantined:
+            cells.append("Q")
+        elif seg_no in clean:
+            cells.append("_")
+        else:
+            idx = min(len(_HEAT_GLYPHS) - 1, int(max(0.0, min(1.0, u)) * 10))
+            cells.append(_HEAT_GLYPHS[idx])
+    label_width = len(str(len(utils) - 1))
+    lines = [f"{title} ({len(utils)} segments)"]
+    for row_start in range(0, len(cells), width):
+        row = "".join(cells[row_start : row_start + width])
+        lines.append(f"{row_start:>{label_width}} |{row}|")
+    lines.append(
+        "legend: _ clean   . empty-in-log   1-9 utilization deciles   "
+        "# full   Q quarantined   * log tail"
+    )
+    return "\n".join(lines)

@@ -136,6 +136,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
                     "write_cost": fs.write_cost,
                     "segments_cleaned": fs.cleaner.stats.segments_cleaned,
                     "simulated_time": disk.clock.now,
+                    "trace_retained": len(obs.tracer),
+                    "trace_dropped": obs.tracer.dropped,
                     "registry": snapshot,
                     "attribution_seconds": obs.attribution.seconds,
                 },
@@ -149,24 +151,69 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"write cost        {fs.write_cost:.2f}")
     print(f"segments cleaned  {fs.cleaner.stats.segments_cleaned} (this session)")
     print(f"simulated time    {disk.clock.now:.3f}s")
+    print(f"trace ring        {len(obs.tracer)} retained, {obs.tracer.dropped} dropped")
     print()
     print(obs.registry.render(snapshot))
     return 0
+
+
+def _filter_events(events, *, kind=None, cause=None, since=None):
+    """Apply the trace command's --kind/--cause/--since filters."""
+    out = events
+    if kind is not None:
+        out = [e for e in out if e.kind == kind]
+    if cause is not None:
+        out = [e for e in out if e.cause == cause]
+    if since is not None:
+        out = [e for e in out if e.time >= since]
+    return list(out)
+
+
+def _print_events(events) -> None:
+    for e in events:
+        fields = " ".join(f"{k}={v}" for k, v in e.fields.items())
+        cause = f" cause={e.cause}" if e.cause else ""
+        print(f"t={e.time:.6f} {e.kind}{cause} {fields}")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run a workload under the tracer and cross-check trace vs counters.
 
     Exit 0 when every trace-derived number agrees bit-identically with
-    the legacy counters, 1 on any mismatch.
+    the legacy counters, 1 on any mismatch. With ``--load`` no workload
+    runs: a previously exported JSONL trace is rendered instead (the
+    filters and --spans apply the same way).
     """
-    from repro.obs import Observation
+    from repro.obs import Observation, TraceFormatError, load_trace_jsonl, render_span_tree
     from repro.obs.derive import (
         cleaned_utilizations,
         cleaning_summary,
         cross_check,
         log_bandwidth_breakdown,
     )
+
+    filtering = args.kind or args.cause or args.since is not None
+
+    if args.load:
+        try:
+            header, events = load_trace_jsonl(args.load)
+        except TraceFormatError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 2
+        trailer = header.get("trailer", {})
+        print(
+            f"loaded {args.load}: schema {header.get('schema')}, "
+            f"{len(events)} events"
+        )
+        if trailer.get("warning"):
+            print(f"warning: {trailer['warning']}")
+        if args.spans:
+            print(render_span_tree(events))
+        if filtering or not args.spans:
+            _print_events(
+                _filter_events(events, kind=args.kind, cause=args.cause, since=args.since)
+            )
+        return 0
 
     obs = Observation(
         ring_capacity=args.ring if args.ring > 0 else None,
@@ -209,6 +256,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print("log bandwidth by block type (Table 4, derived from trace):")
     for kind, blocks in breakdown.items():
         print(f"  {kind:<10} {blocks:>8} blocks  {100.0 * blocks / total:5.1f}%")
+
+    if args.spans:
+        print()
+        print(render_span_tree(events))
+    if filtering:
+        print()
+        matched = _filter_events(
+            events, kind=args.kind, cause=args.cause, since=args.since
+        )
+        print(f"{len(matched)} events match the filters:")
+        _print_events(matched)
 
     problems = cross_check(obs)
     if problems:
@@ -340,6 +398,87 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_heatmap(args: argparse.Namespace) -> int:
+    """Render an image's per-segment utilization as an ASCII glyph map."""
+    from repro.analysis.ascii_chart import render_heatmap
+
+    disk = load_disk(args.image)
+    fs = LFS.mount(disk)
+    usage = fs.usage
+    utils = [usage.utilization(i) for i in range(usage.num_segments)]
+    print(
+        render_heatmap(
+            utils,
+            quarantined=usage.quarantined_segments(),
+            clean=usage.clean_segments(),
+            current=fs.writer.current_segment,
+            width=args.width,
+        )
+    )
+    print(
+        f"live: {usage.total_live_bytes()} bytes across "
+        f"{usage.num_segments - usage.clean_count} in-log segments; "
+        f"{usage.clean_count} clean, {len(usage.quarantined_segments())} quarantined"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a workload under the full observatory and print a run report."""
+    from repro.obs import (
+        Observation,
+        SegmentLedger,
+        Watchdog,
+        build_report,
+        render_report,
+    )
+
+    obs = Observation(ring_capacity=args.ring if args.ring > 0 else None)
+    ledger = SegmentLedger()
+    ledger.install(obs)
+    Watchdog(ledger=ledger).install(obs)
+
+    if args.workload == "smallfile":
+        from repro.workloads.smallfile import run_smallfile
+
+        geo = DiskGeometry.wren4(block_size=1024, num_blocks=65536)
+        run_smallfile("lfs", num_files=args.files, geometry=geo, obs=obs)
+    else:  # largefile
+        from repro.workloads.largefile import run_largefile
+
+        run_largefile("lfs", file_size=args.file_mb * 1024 * 1024, obs=obs)
+    fs = obs._fs
+
+    report = build_report(obs, fs, ledger, name=args.workload)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    print(render_report(report))
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two BENCH_*.json records; exit 1 on regression."""
+    from repro.obs import bench_diff, load_bench, render_bench_diff
+    from repro.obs.report import BenchFormatError
+
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+    except BenchFormatError as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
+    diff = bench_diff(
+        old, new, threshold=args.threshold, include_perf=not args.no_perf
+    )
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(render_bench_diff(diff))
+    return 1 if diff["verdict"] == "regressed" else 0
+
+
 def cmd_torture(args: argparse.Namespace) -> int:
     variants = tuple(v for v in args.variants.split(",") if v)
     result = run_torture(
@@ -349,6 +488,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
         workers=args.workers,
         variants=variants,
         exhaustive=args.exhaustive,
+        watchdog=args.watchdog,
     )
 
     per_variant: dict[str, dict[str, float]] = {}
@@ -494,6 +634,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--files", type=int, default=2000, help="files for the smallfile workload")
     p.add_argument("--ring", type=int, default=0, help="ring capacity (0 = unbounded, the default, so derivation never drops events)")
     p.add_argument("--jsonl", default=None, help="write the trace through to this JSONL file")
+    p.add_argument("--spans", action="store_true", help="render the span tree (durations + per-cause breakdown)")
+    p.add_argument("--kind", default=None, help="only print events of this kind (e.g. clean.segment)")
+    p.add_argument("--cause", default=None, help="only print events charged to this attribution cause")
+    p.add_argument("--since", type=float, default=None, metavar="T", help="only print events at simulated time >= T")
+    p.add_argument("--load", default=None, metavar="FILE", help="render a previously exported JSONL trace instead of running a workload")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -581,7 +726,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None, help="process-pool size (default: $REPRO_SWEEP_WORKERS or cpu count)")
     p.add_argument("--json", default="benchmarks/results", help="record BENCH_<name>.json here (file or directory; '' disables)")
     p.add_argument("--bench-name", default="torture", help="bench name used in the JSON record")
+    p.add_argument("--watchdog", action="store_true", help="run every point under the segment ledger + invariant watchdog (raises on any broken invariant; outcomes unchanged otherwise)")
     p.set_defaults(func=cmd_torture)
+
+    p = sub.add_parser(
+        "heatmap",
+        help="ASCII per-segment utilization map of an image",
+        description=(
+            "Mount an image and render every segment as one glyph: "
+            "utilization deciles .123456789#, _ for clean, Q for "
+            "quarantined, * for the current log tail — the log's shape "
+            "at a glance."
+        ),
+    )
+    p.add_argument("image")
+    p.add_argument("--width", type=int, default=64, help="segments per row")
+    p.set_defaults(func=cmd_heatmap)
+
+    p = sub.add_parser(
+        "report",
+        help="run a workload under the full observatory and print a run report",
+        description=(
+            "Run a workload with the tracer, time attribution, segment "
+            "ledger, and invariant watchdog all attached, then print one "
+            "consolidated report: write cost, busy-time by cause, "
+            "cleaning distributions (Figure 6 / Table 2 from the "
+            "ledger), and segment-lifecycle statistics. --json-out also "
+            "writes the report as JSON for archiving or diffing."
+        ),
+    )
+    p.add_argument(
+        "--workload", default="smallfile", choices=("smallfile", "largefile")
+    )
+    p.add_argument("--files", type=int, default=2000, help="files for the smallfile workload")
+    p.add_argument("--file-mb", type=int, default=4, help="file size (MB) for the largefile workload")
+    p.add_argument("--ring", type=int, default=4096, help="ring capacity (0 = unbounded)")
+    p.add_argument("--json-out", default=None, help="also write the report as JSON to this path")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json records and issue a verdict",
+        description=(
+            "Diff two benchmark records metric by metric. Metrics with a "
+            "known better-direction get regressed/improved/unchanged "
+            "verdicts (beyond --threshold, relative); exact counters like "
+            "violations regress on any increase; everything else is "
+            "informational. Exit status: 0 ok, 1 regression, 2 unreadable "
+            "input. --no-perf makes wall-clock-dependent metrics "
+            "informational, for records from different machines."
+        ),
+    )
+    p.add_argument("old")
+    p.add_argument("new")
+    p.add_argument("--threshold", type=float, default=0.05, help="relative change needed for a verdict (default 5%%)")
+    p.add_argument("--no-perf", action="store_true", help="wall-clock metrics (steps/s, wall seconds) become informational")
+    p.add_argument("--json", action="store_true", help="print the diff as JSON")
+    p.set_defaults(func=cmd_bench_diff)
 
     return parser
 

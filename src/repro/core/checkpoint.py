@@ -98,15 +98,22 @@ def write_checkpoint(disk: Disk, layout: DiskLayout, cp: Checkpoint, *, region_b
         CHECKPOINT_MAGIC, cp.seq, cp.timestamp, checksum(body)
     ).ljust(block_size, b"\0")
     start = layout.checkpoint_b if region_b else layout.checkpoint_a
-    disk.write_blocks(start, body + [trailer])
-    if disk.obs is not None:
-        disk.obs.emit(
-            CHECKPOINT_WRITE,
-            seq=cp.seq,
-            region="B" if region_b else "A",
-            blocks=len(body) + 1,
-            timestamp=cp.timestamp,
-        )
+    obs = disk.obs
+    if obs is not None:
+        # Child span of LFS.checkpoint's "checkpoint": just the fixed-
+        # location region write, so span trees separate log stabilization
+        # cost from the region write itself.
+        with obs.span("checkpoint.region", region="B" if region_b else "A"):
+            disk.write_blocks(start, body + [trailer])
+            obs.emit(
+                CHECKPOINT_WRITE,
+                seq=cp.seq,
+                region="B" if region_b else "A",
+                blocks=len(body) + 1,
+                timestamp=cp.timestamp,
+            )
+    else:
+        disk.write_blocks(start, body + [trailer])
 
 
 def read_checkpoint(disk: Disk, layout: DiskLayout, *, region_b: bool) -> Checkpoint:

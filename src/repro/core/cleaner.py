@@ -14,6 +14,7 @@ into them.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.blocks import checksum
@@ -37,12 +38,21 @@ def _refuse_payload() -> bytes:
 
 @dataclass
 class CleanerStats:
-    """Counters matching the paper's Table 2."""
+    """Counters matching the paper's Table 2.
+
+    ``live_blocks_seen`` counts every block the cleaner *identified* as
+    live while walking segment summaries (gather or salvage); each such
+    block must end up moved, rescued, or lost — the conservation law the
+    obs-layer watchdog holds continuously. All four counters update at
+    the exact identification/outcome sites, never batched at pass end,
+    so the equality holds at every observable instant.
+    """
 
     passes: int = 0
     segments_cleaned: int = 0
     empty_segments_cleaned: int = 0
     blocks_read: int = 0
+    live_blocks_seen: int = 0
     live_blocks_moved: int = 0
     selective_segments: int = 0
     cleaned_utilizations: list[float] = field(default_factory=list)
@@ -282,23 +292,28 @@ class Cleaner:
         """Read victims, move their live blocks, and mark them clean."""
         fs = self.fs
         obs = fs.disk.obs
-        moved = 0
-        for seg_no in victims:
-            u = fs.usage.utilization(seg_no)
-            self.stats.cleaned_utilizations.append(u)
+        scope = (
+            obs.span("clean.pass", victims=list(victims))
+            if obs is not None
+            else nullcontext()
+        )
+        with scope:
+            moved = 0
+            for seg_no in victims:
+                u = fs.usage.utilization(seg_no)
+                self.stats.cleaned_utilizations.append(u)
+                if obs is not None:
+                    obs.emit(CLEAN_SEGMENT, segment=seg_no, utilization=u, empty=False)
+                moved += self._gather_live(seg_no)
             if obs is not None:
-                obs.emit(CLEAN_SEGMENT, segment=seg_no, utilization=u, empty=False)
-            moved += self._gather_live(seg_no)
-        if obs is not None:
-            obs.emit(CLEAN_PASS, victims=list(victims), moved=moved)
-        fs.flush(cleaning=True)
-        # Persist the moved inodes/pointers before the sources are reused.
-        fs.checkpoint()
-        for seg_no in victims:
-            fs.usage.mark_clean(seg_no)
-            self.stats.segments_cleaned += 1
-        self.stats.live_blocks_moved += moved
-        return len(victims)
+                obs.emit(CLEAN_PASS, victims=list(victims), moved=moved)
+            fs.flush(cleaning=True)
+            # Persist the moved inodes/pointers before the sources are reused.
+            fs.checkpoint()
+            for seg_no in victims:
+                fs.usage.mark_clean(seg_no)
+                self.stats.segments_cleaned += 1
+            return len(victims)
 
     def _gather_live(self, seg_no: int) -> int:
         """Mark every live block of one segment dirty so a flush moves it.
@@ -397,6 +412,8 @@ class Cleaner:
                         return p
 
                     if self._revive(entry, addr, checked_payload):
+                        self.stats.live_blocks_seen += 1
+                        self.stats.live_blocks_moved += 1
                         moved += 1
                 offset += 1 + n
             return moved
@@ -426,17 +443,22 @@ class Cleaner:
         was_exempt = fs.writer.exempt
         fs._in_cleaner = True  # no reentrant cleaning under the rescue
         fs.writer.exempt = True  # the rescue may dip into the reserve
+        obs = fs.disk.obs
+        scope = (
+            obs.span("clean.rescue", segment=seg_no)
+            if obs is not None
+            else nullcontext()
+        )
         try:
-            rescued, lost = self._salvage(seg_no)
-            fs.flush(cleaning=True)
-            fs.usage.quarantine(seg_no)
-            self.stats.segments_quarantined += 1
-            self.stats.blocks_rescued += rescued
-            self.stats.blocks_lost += lost
-            if fs.disk.obs is not None:
-                fs.disk.obs.emit(
-                    CLEAN_QUARANTINE, segment=seg_no, rescued=rescued, lost=lost
-                )
+            with scope:
+                rescued, lost = self._salvage(seg_no)
+                fs.flush(cleaning=True)
+                fs.usage.quarantine(seg_no)
+                self.stats.segments_quarantined += 1
+                if obs is not None:
+                    obs.emit(
+                        CLEAN_QUARANTINE, segment=seg_no, rescued=rescued, lost=lost
+                    )
         finally:
             fs._in_cleaner = was_in_cleaner
             fs.writer.exempt = was_exempt
@@ -507,12 +529,16 @@ class Cleaner:
                     )
                     if ok:
                         if self._revive(entry, addr, lambda p=payload: p):
+                            self.stats.live_blocks_seen += 1
+                            self.stats.blocks_rescued += 1
                             rescued += 1
                         continue
                     if entry.kind in (BlockKind.INODE_MAP, BlockKind.SEG_USAGE):
                         # Regenerated from the in-memory tables; the damaged
                         # payload is never consulted.
                         if self._revive(entry, addr, _refuse_payload):
+                            self.stats.live_blocks_seen += 1
+                            self.stats.blocks_rescued += 1
                             rescued += 1
                         continue
                     if entry.kind == BlockKind.DATA:
@@ -523,11 +549,15 @@ class Cleaner:
                             # A clean cached copy can stand in for the
                             # damaged on-disk block.
                             if self._revive(entry, addr, _refuse_payload):
+                                self.stats.live_blocks_seen += 1
+                                self.stats.blocks_rescued += 1
                                 rescued += 1
                                 continue
                         except _UnreadablePayload:
                             pass
                     if self._entry_live(entry, addr):
+                        self.stats.live_blocks_seen += 1
+                        self.stats.blocks_lost += 1
                         lost += 1
                 offset += 1 + len(summary.entries)
         return rescued, lost

@@ -384,6 +384,12 @@ class LFS:
             return _NULL_CAUSE
         return self.obs.cause(name)
 
+    def _span(self, name: str, **fields):
+        """Named trace span over a block (no-op when untraced)."""
+        if self.obs is None:
+            return _NULL_CAUSE
+        return self.obs.span(name, **fields)
+
     # ==================================================================
     # inode / filemap access
 
@@ -1246,61 +1252,62 @@ class LFS:
         fixed location, timestamp last.
         """
         self._require_mounted()
-        self._ensure_space(
-            self.cache.dirty_count
-            + len(self._dirty_inodes)
-            + self.imap.num_blocks
-            + self.usage.num_blocks
-            + 8
-        )
-        self.flush()
-        # Now write the inode map and segment usage table. The usage table
-        # is self-referential — writing its blocks changes live counts — so
-        # iterate until no map block is re-dirtied (converges in 2-3 steps;
-        # the cap bounds staleness in pathological cases). The residual
-        # flush above charges as ordinary data/cleaning traffic; only the
-        # map stabilization and the region write are checkpoint overhead.
-        with self._cause(CHECKPOINT):
-            for _ in range(8):
-                meta = self._build_meta_items()
-                if not meta:
-                    break
-                self.writer.append(meta)
-            for idx in range(self.imap.num_blocks):
-                self.imap.clear_dirty(idx)
-            for idx in range(self.usage.num_blocks):
-                self.usage.clear_dirty(idx)
-
-            from repro.core.constants import NO_SEGMENT
-
-            now = self.disk.clock.now
-            cp = Checkpoint(
-                seq=self._checkpoint_seq,
-                timestamp=now,
-                log_seq=self.writer.seq,
-                tail_segment=self.writer.current_segment
-                if self.writer.current_segment is not None
-                else 0,
-                tail_offset=self.writer.offset,
-                next_segment=self.writer.next_segment
-                if self.writer.next_segment is not None
-                else NO_SEGMENT,
-                next_inum=self.imap._next_inum,
-                imap_addrs=list(self.imap.block_addrs),
-                usage_addrs=list(self.usage.block_addrs),
+        with self._span("checkpoint", seq=self._checkpoint_seq):
+            self._ensure_space(
+                self.cache.dirty_count
+                + len(self._dirty_inodes)
+                + self.imap.num_blocks
+                + self.usage.num_blocks
+                + 8
             )
-            write_checkpoint(self.disk, self.layout, cp, region_b=self._next_region_b)
-        self.stats.checkpoint_region_blocks += self.layout.checkpoint_blocks
-        self._checkpoint_seq += 1
-        self._next_region_b = not self._next_region_b
-        self._last_checkpoint_time = now
-        self._last_checkpoint_log_blocks = self.writer.stats.total_blocks
-        self.stats.checkpoints += 1
-        # Directory-op log records before this checkpoint are now dead.
-        bs = self.config.block_size
-        for addr in self._dirop_addrs:
-            self.usage.remove_live(self.layout.segment_of(addr), bs)
-        self._dirop_addrs = []
+            self.flush()
+            # Now write the inode map and segment usage table. The usage table
+            # is self-referential — writing its blocks changes live counts — so
+            # iterate until no map block is re-dirtied (converges in 2-3 steps;
+            # the cap bounds staleness in pathological cases). The residual
+            # flush above charges as ordinary data/cleaning traffic; only the
+            # map stabilization and the region write are checkpoint overhead.
+            with self._cause(CHECKPOINT):
+                for _ in range(8):
+                    meta = self._build_meta_items()
+                    if not meta:
+                        break
+                    self.writer.append(meta)
+                for idx in range(self.imap.num_blocks):
+                    self.imap.clear_dirty(idx)
+                for idx in range(self.usage.num_blocks):
+                    self.usage.clear_dirty(idx)
+
+                from repro.core.constants import NO_SEGMENT
+
+                now = self.disk.clock.now
+                cp = Checkpoint(
+                    seq=self._checkpoint_seq,
+                    timestamp=now,
+                    log_seq=self.writer.seq,
+                    tail_segment=self.writer.current_segment
+                    if self.writer.current_segment is not None
+                    else 0,
+                    tail_offset=self.writer.offset,
+                    next_segment=self.writer.next_segment
+                    if self.writer.next_segment is not None
+                    else NO_SEGMENT,
+                    next_inum=self.imap._next_inum,
+                    imap_addrs=list(self.imap.block_addrs),
+                    usage_addrs=list(self.usage.block_addrs),
+                )
+                write_checkpoint(self.disk, self.layout, cp, region_b=self._next_region_b)
+            self.stats.checkpoint_region_blocks += self.layout.checkpoint_blocks
+            self._checkpoint_seq += 1
+            self._next_region_b = not self._next_region_b
+            self._last_checkpoint_time = now
+            self._last_checkpoint_log_blocks = self.writer.stats.total_blocks
+            self.stats.checkpoints += 1
+            # Directory-op log records before this checkpoint are now dead.
+            bs = self.config.block_size
+            for addr in self._dirop_addrs:
+                self.usage.remove_live(self.layout.segment_of(addr), bs)
+            self._dirop_addrs = []
 
     def clean_now(self, target_clean: int | None = None) -> int:
         """Run the cleaner immediately; returns segments cleaned."""

@@ -262,38 +262,39 @@ def roll_forward(fs, cp: Checkpoint) -> RecoveryReport:
     """
     report = RecoveryReport()
     start_time = fs.disk.clock.now
-    writes = _collect_partial_writes(fs, cp, report)
-    report.partial_writes_replayed = len(writes)
+    with fs._span("recovery.rollforward", from_seq=cp.log_seq):
+        writes = _collect_partial_writes(fs, cp, report)
+        report.partial_writes_replayed = len(writes)
 
-    # Replay strictly in log order, interleaving directory-log records
-    # with inode updates. This is what the paper's ordering guarantee —
-    # "each directory operation log entry appears in the log before the
-    # corresponding directory block or inode" — buys: an UNLINK replays
-    # against the inode-map state of its own moment in the log, so a
-    # later re-creation of the same inode number is never clobbered.
-    for pw in writes:
-        base = fs.layout.segment_start(pw.segment) + pw.offset + 1
-        for i, payload in sorted(pw.payloads.items()):
-            entry = pw.summary.entries[i]
-            if entry.kind == BlockKind.DIROP_LOG:
-                for record in unpack_block(payload):
-                    _replay_dirop(fs, record, report)
-            elif entry.kind == BlockKind.INODE:
-                for inode in unpack_inode_block(payload, fs.config.block_size):
-                    _replay_inode(fs, inode, base + i, report)
+        # Replay strictly in log order, interleaving directory-log records
+        # with inode updates. This is what the paper's ordering guarantee —
+        # "each directory operation log entry appears in the log before the
+        # corresponding directory block or inode" — buys: an UNLINK replays
+        # against the inode-map state of its own moment in the log, so a
+        # later re-creation of the same inode number is never clobbered.
+        for pw in writes:
+            base = fs.layout.segment_start(pw.segment) + pw.offset + 1
+            for i, payload in sorted(pw.payloads.items()):
+                entry = pw.summary.entries[i]
+                if entry.kind == BlockKind.DIROP_LOG:
+                    for record in unpack_block(payload):
+                        _replay_dirop(fs, record, report)
+                elif entry.kind == BlockKind.INODE:
+                    for inode in unpack_inode_block(payload, fs.config.block_size):
+                        _replay_inode(fs, inode, base + i, report)
 
-    if writes:
-        last = writes[-1]
-        end_offset = last.offset + 1 + len(last.summary.entries)
-        next_seg = (
-            None
-            if last.summary.next_segment == NO_SEGMENT
-            else last.summary.next_segment
-        )
-        fs.writer.restore_cursor(
-            last.segment, end_offset, last.summary.seq + 1, next_seg
-        )
-    report.elapsed = fs.disk.clock.now - start_time
+        if writes:
+            last = writes[-1]
+            end_offset = last.offset + 1 + len(last.summary.entries)
+            next_seg = (
+                None
+                if last.summary.next_segment == NO_SEGMENT
+                else last.summary.next_segment
+            )
+            fs.writer.restore_cursor(
+                last.segment, end_offset, last.summary.seq + 1, next_seg
+            )
+        report.elapsed = fs.disk.clock.now - start_time
     return report
 
 
@@ -400,57 +401,58 @@ def scavenge(fs) -> RecoveryReport:
     """
     report = RecoveryReport(scavenged=True)
     start_time = fs.disk.clock.now
-    writes = _scan_all_segments(fs, report)
-    if not writes:
-        raise CorruptionError(
-            "scavenge failed: no intact partial write found in the segment area"
+    with fs._span("recovery.scavenge"):
+        writes = _scan_all_segments(fs, report)
+        if not writes:
+            raise CorruptionError(
+                "scavenge failed: no intact partial write found in the segment area"
+            )
+        writes.sort(key=lambda pw: pw.summary.seq)
+        report.partial_writes_replayed = len(writes)
+        # Catch the clock up to the newest surviving write so recovered
+        # mtimes and usage-table age stamps stay in the past.
+        fs.disk.clock.advance_to(max(pw.summary.write_time for pw in writes))
+
+        for pw in writes:
+            base = fs.layout.segment_start(pw.segment) + pw.offset + 1
+            for i, payload in sorted(pw.payloads.items()):
+                entry = pw.summary.entries[i]
+                if entry.kind == BlockKind.DIROP_LOG:
+                    for record in unpack_block(payload):
+                        _replay_dirop(fs, record, report)
+                elif entry.kind == BlockKind.INODE:
+                    for inode in unpack_inode_block(payload, fs.config.block_size):
+                        try:
+                            _replay_inode(fs, inode, base + i, report)
+                        except (CorruptionError, MediaError):
+                            # This instance's block tree is unreadable; an
+                            # earlier intact instance (if any) stays current.
+                            continue
+
+        last = writes[-1]
+        end_offset = last.offset + 1 + len(last.summary.entries)
+        next_seg = (
+            None if last.summary.next_segment == NO_SEGMENT else last.summary.next_segment
         )
-    writes.sort(key=lambda pw: pw.summary.seq)
-    report.partial_writes_replayed = len(writes)
-    # Catch the clock up to the newest surviving write so recovered
-    # mtimes and usage-table age stamps stay in the past.
-    fs.disk.clock.advance_to(max(pw.summary.write_time for pw in writes))
+        if next_seg is not None and not (
+            0 <= next_seg < fs.layout.num_segments and fs.usage.get(next_seg).clean
+        ):
+            next_seg = None  # the recorded successor is gone; reserve afresh
+        fs.writer.restore_cursor(last.segment, end_offset, last.summary.seq + 1, next_seg)
 
-    for pw in writes:
-        base = fs.layout.segment_start(pw.segment) + pw.offset + 1
-        for i, payload in sorted(pw.payloads.items()):
-            entry = pw.summary.entries[i]
-            if entry.kind == BlockKind.DIROP_LOG:
-                for record in unpack_block(payload):
-                    _replay_dirop(fs, record, report)
-            elif entry.kind == BlockKind.INODE:
-                for inode in unpack_inode_block(payload, fs.config.block_size):
-                    try:
-                        _replay_inode(fs, inode, base + i, report)
-                    except (CorruptionError, MediaError):
-                        # This instance's block tree is unreadable; an
-                        # earlier intact instance (if any) stays current.
-                        continue
+        allocated = fs.imap.allocated_inums()
+        fs.imap._next_inum = (max(allocated) + 1) if allocated else ROOT_INUM + 1
+        # Every map/usage block must make it into the fresh checkpoint: the
+        # old on-disk copies are unreachable without the lost regions.
+        fs.imap.mark_all_dirty()
+        fs.usage.mark_all_dirty()
 
-    last = writes[-1]
-    end_offset = last.offset + 1 + len(last.summary.entries)
-    next_seg = (
-        None if last.summary.next_segment == NO_SEGMENT else last.summary.next_segment
-    )
-    if next_seg is not None and not (
-        0 <= next_seg < fs.layout.num_segments and fs.usage.get(next_seg).clean
-    ):
-        next_seg = None  # the recorded successor is gone; reserve afresh
-    fs.writer.restore_cursor(last.segment, end_offset, last.summary.seq + 1, next_seg)
-
-    allocated = fs.imap.allocated_inums()
-    fs.imap._next_inum = (max(allocated) + 1) if allocated else ROOT_INUM + 1
-    # Every map/usage block must make it into the fresh checkpoint: the
-    # old on-disk copies are unreachable without the lost regions.
-    fs.imap.mark_all_dirty()
-    fs.usage.mark_all_dirty()
-
-    report.elapsed = fs.disk.clock.now - start_time
-    if fs.obs is not None:
-        fs.obs.emit(
-            RECOVER_SCAVENGE,
-            segments=report.segments_scanned,
-            inodes=report.inodes_recovered,
-            partial_writes=report.partial_writes_replayed,
-        )
+        report.elapsed = fs.disk.clock.now - start_time
+        if fs.obs is not None:
+            fs.obs.emit(
+                RECOVER_SCAVENGE,
+                segments=report.segments_scanned,
+                inodes=report.inodes_recovered,
+                partial_writes=report.partial_writes_replayed,
+            )
     return report

@@ -63,6 +63,15 @@ class SegmentUsageTable:
         # on the write path; drained by Cleaner._sync_victims.
         self._score_dirty: set[int] = set(range(num_segments))
         self.block_addrs: list[int] = [NULL_ADDR] * self.num_blocks
+        # Optional mutation observer: called as observer(seg_no, record,
+        # when) after every per-segment state change (when is the write
+        # time for add_live, else None). The obs-layer segment ledger
+        # installs one to mirror liveness; None costs a single check.
+        self.observer = None
+
+    def _notify(self, seg_no: int, when: float | None = None) -> None:
+        if self.observer is not None:
+            self.observer(seg_no, self._segments[seg_no], when)
 
     # ------------------------------------------------------------------
 
@@ -93,6 +102,7 @@ class SegmentUsageTable:
             seg.last_write = when
         self._dirty_blocks.add(self.block_of(seg_no))
         self._score_dirty.add(seg_no)
+        self._notify(seg_no, when)
 
     def remove_live(self, seg_no: int, nbytes: int) -> None:
         """Account bytes that just died (overwrite, delete, truncate)."""
@@ -100,6 +110,7 @@ class SegmentUsageTable:
         seg.live_bytes = max(0, seg.live_bytes - nbytes)
         self._dirty_blocks.add(self.block_of(seg_no))
         self._score_dirty.add(seg_no)
+        self._notify(seg_no)
 
     def mark_clean(self, seg_no: int) -> None:
         """Return a segment to the clean pool (after cleaning)."""
@@ -112,6 +123,7 @@ class SegmentUsageTable:
         seg.clean = True
         self._dirty_blocks.add(self.block_of(seg_no))
         self._score_dirty.add(seg_no)
+        self._notify(seg_no)
 
     def mark_in_use(self, seg_no: int) -> None:
         """Take a clean segment as the current log tail."""
@@ -123,6 +135,7 @@ class SegmentUsageTable:
         seg.clean = False
         self._dirty_blocks.add(self.block_of(seg_no))
         self._score_dirty.add(seg_no)
+        self._notify(seg_no)
 
     def quarantine(self, seg_no: int) -> None:
         """Permanently retire a segment after an unrecoverable media error.
@@ -138,6 +151,7 @@ class SegmentUsageTable:
         seg.quarantined = True
         self._dirty_blocks.add(self.block_of(seg_no))
         self._score_dirty.add(seg_no)
+        self._notify(seg_no)
 
     # ------------------------------------------------------------------
     # queries used by the allocator and cleaner
@@ -246,3 +260,4 @@ class SegmentUsageTable:
             seg.last_write = last
             seg.quarantined = bool(flags & _FLAG_QUARANTINED)
             seg.clean = live == 0 and not seg.quarantined
+            self._notify(first + i)

@@ -14,6 +14,7 @@ from repro.core.errors import DiskRangeError, MediaError
 from repro.disk.faults import CrashInjector, DiskCrashed, MediaFaultModel
 from repro.disk.geometry import DiskGeometry
 from repro.disk.timing import IOStats, RetryPolicy, SimClock
+from repro.obs.events import MEDIA_ERROR, MEDIA_RETRY
 
 
 class Disk:
@@ -126,7 +127,7 @@ class Disk:
                     self.stats.media_errors += 1
                     if self.obs is not None:
                         self.obs.emit(
-                            "media.error", addr=exc.addr, op=op, attempts=attempt
+                            MEDIA_ERROR, addr=exc.addr, op=op, attempts=attempt
                         )
                     raise
                 attempt += 1
@@ -136,7 +137,7 @@ class Disk:
                 self.stats.retry_time += backoff
                 if self.obs is not None:
                     self.obs.emit(
-                        "media.retry",
+                        MEDIA_RETRY,
                         addr=exc.addr,
                         op=op,
                         attempt=attempt,

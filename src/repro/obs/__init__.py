@@ -16,6 +16,15 @@ Three pieces, usable together (via :class:`Observation`) or alone:
 :mod:`repro.obs.derive` rederives the paper's Table 2 and Table 4
 numbers from trace events and cross-checks them bit-identically against
 the legacy counters.
+
+The segment-lifecycle observatory builds on the tracer's subscriber
+hook: :mod:`repro.obs.spans` adds nested scopes with simulated-time
+durations, :mod:`repro.obs.ledger` reconstructs every segment's life
+(birth, writes, decay, death) with live Figure 6 / Table 2 views,
+:mod:`repro.obs.watchdog` continuously asserts cross-layer invariants
+and raises a typed :class:`InvariantViolation` on the offending event,
+and :mod:`repro.obs.report` emits run reports and bench-to-bench
+regression verdicts.
 """
 
 from repro.obs.attribution import (
@@ -27,10 +36,26 @@ from repro.obs.attribution import (
     DATA_WRITE,
     TimeAttribution,
 )
-from repro.obs.events import EVENT_KINDS, Event
+from repro.obs.events import EVENT_KINDS, TRACE_SCHEMA, Event
+from repro.obs.ledger import SegmentLedger, SegmentLife
 from repro.obs.observation import Observation
 from repro.obs.registry import MetricsRegistry, scrape
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.report import (
+    bench_diff,
+    build_report,
+    load_bench,
+    render_bench_diff,
+    render_report,
+)
+from repro.obs.spans import SpanTracker, build_span_tree, render_span_tree
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceFormatError,
+    Tracer,
+    load_trace_jsonl,
+)
+from repro.obs.watchdog import InvariantViolation, Watchdog
 
 __all__ = [
     "APPLICATION_READ",
@@ -41,11 +66,26 @@ __all__ = [
     "DATA_WRITE",
     "EVENT_KINDS",
     "Event",
+    "InvariantViolation",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Observation",
-    "scrape",
+    "SegmentLedger",
+    "SegmentLife",
+    "SpanTracker",
+    "TRACE_SCHEMA",
     "TimeAttribution",
+    "TraceFormatError",
     "Tracer",
+    "Watchdog",
+    "bench_diff",
+    "build_report",
+    "build_span_tree",
+    "load_bench",
+    "load_trace_jsonl",
+    "render_bench_diff",
+    "render_report",
+    "render_span_tree",
+    "scrape",
 ]

@@ -23,7 +23,15 @@ kind               fields
 ``scrub.segment``  ``segment, blocks, bad``
 ``recover.scavenge``  ``segments, inodes, partial_writes``
 ``fs.readonly``    ``media_errors, budget``
+``span.begin``     ``span, name[, parent, ...]``
+``span.end``       ``span, name, dur``
 =================  ====================================================
+
+Spans are nested scopes (a clean pass, a checkpoint, a scrub, a
+recovery) emitted into the same stream: ``span.begin`` opens a scope,
+``span.end`` closes it with its simulated duration, and every event
+emitted while a span is open carries a ``span`` field naming the
+innermost scope's id — so a flat trace reconstructs the full tree.
 
 ``log.write``'s ``kinds`` maps :class:`~repro.core.constants.BlockKind`
 *names* to block counts for that partial write, so the Table 4 bandwidth
@@ -50,6 +58,14 @@ CLEAN_QUARANTINE = "clean.quarantine"
 SCRUB_SEGMENT = "scrub.segment"
 RECOVER_SCAVENGE = "recover.scavenge"
 FS_READONLY = "fs.readonly"
+SPAN_BEGIN = "span.begin"
+SPAN_END = "span.end"
+
+#: Version of the trace JSONL on-disk format. Bumped whenever the header,
+#: trailer, or event line shape changes incompatibly. Schema 1 traces had
+#: no header line at all; schema 2 added the ``trace.header`` /
+#: ``trace.trailer`` framing lines and span events.
+TRACE_SCHEMA = 2
 
 EVENT_KINDS = (
     DISK_READ,
@@ -67,6 +83,8 @@ EVENT_KINDS = (
     SCRUB_SEGMENT,
     RECOVER_SCAVENGE,
     FS_READONLY,
+    SPAN_BEGIN,
+    SPAN_END,
 )
 
 

@@ -7,6 +7,17 @@ attaching registers every counter struct the session owns into the
 metrics registry, wires the disk's per-request hook, and points the
 cache's eviction events here.
 
+Two extension points layer on the bundle:
+
+- :meth:`span` opens a named nested scope (``span.begin``/``span.end``
+  events; enclosed events carry a ``span`` field) — see
+  :mod:`repro.obs.spans`;
+- :meth:`subscribe` registers a live consumer (the segment ledger, the
+  invariant watchdog) that sees every event as it is emitted, before the
+  ring's kind filter and capacity can drop it. Subscribers exposing
+  ``on_attach(fs)`` are told when a file system attaches (immediately,
+  if one already has), so they can wire counter-side hooks too.
+
 The disabled configuration is simply *no* observation: every hook site
 guards on ``obs is not None``, so an unobserved run pays one attribute
 check per disk request and nothing else — the PR-1 sweep numbers are
@@ -18,6 +29,7 @@ from __future__ import annotations
 from repro.obs.attribution import TimeAttribution
 from repro.obs.events import DISK_READ, DISK_WRITE
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracker
 from repro.obs.tracer import Tracer
 
 
@@ -38,7 +50,10 @@ class Observation:
             self.tracer = Tracer(capacity=ring_capacity, kinds=kinds, jsonl_path=jsonl_path)
         self.attribution = TimeAttribution()
         self.registry = MetricsRegistry()
+        self.spans = SpanTracker(self)
         self._clock = None
+        self._fs = None
+        self._subscribers: list = []
 
     # ------------------------------------------------------------------
     # attachment
@@ -62,14 +77,41 @@ class Observation:
             self.registry.register("cleaner", fs.cleaner.stats)
         else:  # the FFS baseline
             self.registry.register("ffs", fs.stats)
+        self._fs = fs
+        for subscriber in self._subscribers:
+            on_attach = getattr(subscriber, "on_attach", None)
+            if on_attach is not None:
+                on_attach(fs)
+        return self
+
+    # ------------------------------------------------------------------
+    # live subscribers
+
+    def subscribe(self, subscriber) -> "Observation":
+        """Register a live consumer: ``on_event(event)`` per emit, and
+        ``on_attach(fs)`` (if defined) when a file system attaches."""
+        self._subscribers.append(subscriber)
+        self.tracer.subscribe(subscriber.on_event)
+        if self._fs is not None:
+            on_attach = getattr(subscriber, "on_attach", None)
+            if on_attach is not None:
+                on_attach(self._fs)
         return self
 
     # ------------------------------------------------------------------
     # hook entry points
 
+    def now(self) -> float:
+        """Current simulated time (0.0 before any disk is attached)."""
+        return self._clock.now if self._clock is not None else 0.0
+
     def cause(self, name: str):
         """Attribution scope; disk time inside is charged to ``name``."""
         return self.attribution.cause(name)
+
+    def span(self, name: str, **fields):
+        """Named nested scope; events inside carry this span's id."""
+        return self.spans.span(name, **fields)
 
     def on_io(self, now: float, addr: int, nblocks: int, elapsed: float, *, write: bool, seeked: bool) -> None:
         """Per-request disk hook: charge attribution, emit a disk event."""
@@ -80,18 +122,22 @@ class Observation:
             f"attributed disk busy-time {self.attribution.total:.9f}s exceeds "
             f"simulated elapsed time {now:.9f}s (double-charged I/O?)"
         )
+        fields = dict(addr=addr, blocks=nblocks, elapsed=elapsed, seek=seeked)
+        span_id = self.spans.current
+        if span_id is not None:
+            fields["span"] = span_id
         self.tracer.emit(
             DISK_WRITE if write else DISK_READ,
             now,
             cause=self.attribution.current_cause(write=write),
-            addr=addr,
-            blocks=nblocks,
-            elapsed=elapsed,
-            seek=seeked,
+            **fields,
         )
 
     def emit(self, kind: str, **fields) -> None:
         """Emit a non-disk event, timestamped from the attached clock."""
         now = self._clock.now if self._clock is not None else 0.0
         cause = self.attribution._stack[-1] if self.attribution._stack else None
+        span_id = self.spans.current
+        if span_id is not None and "span" not in fields:
+            fields["span"] = span_id
         self.tracer.emit(kind, now, cause=cause, **fields)

@@ -1,0 +1,329 @@
+"""Run reports and bench-to-bench regression verdicts.
+
+Two consumers of the observatory:
+
+- :func:`build_report` folds one observed run — attribution, I/O
+  counters, write cost, cleaning distributions, segment-ledger stats —
+  into a single JSON-serializable dict; :func:`render_report` prints it
+  as text (``repro report`` emits both).
+- :func:`bench_diff` compares any two ``BENCH_*.json`` files (the
+  schema-1 records :func:`benchmarks.conftest.record_bench` writes) and
+  issues per-metric regressed/improved/unchanged verdicts, so the bench
+  trajectory across PRs is finally *read* instead of just accumulated.
+  Only metrics with a known better-direction can regress; unrecognized
+  numeric fields are reported informationally. ``repro bench-diff``
+  exits 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.registry import scrape
+
+#: Version of the dict build_report returns.
+REPORT_SCHEMA = 1
+
+#: Metric name -> +1 (higher is better) or -1 (lower is better).
+#: ``write_cost``-prefixed and ``violations``-like metrics are matched
+#: by rule below; this table covers the scalar bench fields.
+METRIC_DIRECTIONS = {
+    "steps_per_sec": +1,
+    "wall_seconds": -1,
+    "violations": -1,
+    "mean_recovery_seconds": -1,
+    "write_cost": -1,
+}
+
+#: Metrics whose values are wall-clock dependent: machine noise, not
+#: semantics. ``bench_diff(..., include_perf=False)`` excludes them from
+#: the verdict (useful when OLD and NEW ran on different hardware).
+PERF_METRICS = frozenset({"steps_per_sec", "wall_seconds", "mean_recovery_seconds"})
+
+
+# ----------------------------------------------------------------------
+# run reports
+
+
+def build_report(obs, fs=None, ledger=None, *, name: str = "run") -> dict:
+    """One run's observatory summary as a JSON-serializable dict."""
+    report: dict = {
+        "schema": REPORT_SCHEMA,
+        "name": name,
+        "elapsed_seconds": obs.now(),
+        "attribution": {
+            "seconds": dict(obs.attribution.seconds),
+            "fractions": obs.attribution.fractions(),
+            "total": obs.attribution.total,
+        },
+        "tracer": {
+            "emitted": dict(obs.tracer.emitted_counts),
+            "total_emitted": obs.tracer.total_emitted,
+            "retained": len(obs.tracer),
+            "ring_dropped": obs.tracer.dropped,
+        },
+    }
+    if "io" in obs.registry.names():
+        report["io"] = scrape(obs.registry.source("io"))
+    if fs is not None:
+        fs_section: dict = {}
+        if hasattr(fs, "write_cost"):
+            fs_section["write_cost"] = fs.write_cost
+        if hasattr(fs, "disk_capacity_utilization"):
+            fs_section["disk_capacity_utilization"] = fs.disk_capacity_utilization
+        if hasattr(fs, "usage"):
+            fs_section["live_utilization_histogram"] = fs.usage.utilization_histogram()
+            fs_section["total_live_bytes"] = fs.usage.total_live_bytes()
+        if hasattr(fs, "cleaner"):
+            stats = fs.cleaner.stats
+            fs_section["cleaning"] = {
+                "segments_cleaned": stats.segments_cleaned,
+                "empty_segments_cleaned": stats.empty_segments_cleaned,
+                "fraction_empty": stats.fraction_empty,
+                "avg_nonempty_utilization": stats.avg_nonempty_utilization,
+                "live_blocks_seen": stats.live_blocks_seen,
+                "live_blocks_moved": stats.live_blocks_moved,
+                "blocks_rescued": stats.blocks_rescued,
+                "blocks_lost": stats.blocks_lost,
+            }
+        report["fs"] = fs_section
+    if ledger is not None:
+        report["ledger"] = ledger.stats()
+        report["table2"] = ledger.table2_summary()
+        report["figure6_distribution"] = ledger.figure6_distribution()
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Text rendering of a :func:`build_report` dict."""
+    from repro.analysis.ascii_chart import render_table
+
+    lines = [f"run report: {report.get('name', '?')} "
+             f"(schema {report.get('schema', '?')})"]
+    lines.append(f"elapsed simulated time: {report.get('elapsed_seconds', 0.0):.6f}s")
+
+    attribution = report.get("attribution", {})
+    rows = [
+        [cause, f"{secs:.6f}", f"{attribution.get('fractions', {}).get(cause, 0.0):.4f}"]
+        for cause, secs in sorted(attribution.get("seconds", {}).items())
+    ]
+    if rows:
+        lines.append(render_table(["cause", "seconds", "fraction"], rows,
+                                  title="busy-time attribution"))
+
+    fs_section = report.get("fs", {})
+    if fs_section:
+        rows = []
+        if "write_cost" in fs_section:
+            rows.append(["write cost", f"{fs_section['write_cost']:.4f}"])
+        if "disk_capacity_utilization" in fs_section:
+            rows.append(["disk utilization",
+                         f"{fs_section['disk_capacity_utilization']:.4f}"])
+        cleaning = fs_section.get("cleaning", {})
+        for key in ("segments_cleaned", "empty_segments_cleaned",
+                    "live_blocks_seen", "live_blocks_moved",
+                    "blocks_rescued", "blocks_lost"):
+            if key in cleaning:
+                rows.append([key.replace("_", " "), str(cleaning[key])])
+        if "fraction_empty" in cleaning:
+            rows.append(["fraction empty", f"{cleaning['fraction_empty']:.4f}"])
+        if "avg_nonempty_utilization" in cleaning:
+            rows.append(["avg non-empty u",
+                         f"{cleaning['avg_nonempty_utilization']:.4f}"])
+        lines.append(render_table(["metric", "value"], rows, title="file system"))
+
+    ledger = report.get("ledger")
+    if ledger:
+        rows = [[k.replace("_", " "), str(v)] for k, v in sorted(ledger.items())
+                if not isinstance(v, (list, dict))]
+        rows.append(["death causes",
+                     ", ".join(f"{k}={v}" for k, v in
+                               sorted(ledger.get("death_causes", {}).items()))
+                     or "(none)"])
+        lines.append(render_table(["metric", "value"], rows, title="segment ledger"))
+
+    fig6 = report.get("figure6_distribution")
+    if fig6 and sum(fig6):
+        bins = len(fig6)
+        rows = [
+            [f"{i / bins:.2f}-{(i + 1) / bins:.2f}", str(count)]
+            for i, count in enumerate(fig6)
+            if count
+        ]
+        lines.append(render_table(["u at cleaning", "segments"], rows,
+                                  title="Figure 6: utilization at cleaning"))
+
+    tracer = report.get("tracer", {})
+    lines.append(
+        f"trace: {tracer.get('total_emitted', 0)} events emitted, "
+        f"{tracer.get('retained', 0)} retained, "
+        f"{tracer.get('ring_dropped', 0)} dropped by the ring"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# bench diffing
+
+
+class BenchFormatError(ValueError):
+    """A BENCH_*.json file could not be understood."""
+
+
+def load_bench(path: str) -> dict:
+    """Read one ``BENCH_*.json`` file, validating the schema field."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path}: not valid JSON ({exc.msg})") from exc
+    except OSError as exc:
+        raise BenchFormatError(f"{path}: cannot read ({exc.strerror})") from exc
+    if not isinstance(data, dict):
+        raise BenchFormatError(f"{path}: expected a JSON object")
+    schema = data.get("schema")
+    if not isinstance(schema, int):
+        raise BenchFormatError(
+            f"{path}: missing integer 'schema' field — not a BENCH_*.json record "
+            "(or written by an incompatible version)"
+        )
+    return data
+
+
+def _flatten_metrics(bench: dict) -> dict[str, float]:
+    """Numeric comparable metrics from one bench record, flattened."""
+    out: dict[str, float] = {}
+    for key, value in bench.items():
+        if key in ("schema", "workers", "steps", "sample", "population",
+                   "base_seed", "created_at", "git_sha", "bench"):
+            continue
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+        elif key == "write_costs" and isinstance(value, dict):
+            for label, wc in value.items():
+                if isinstance(wc, (int, float)):
+                    out[f"write_cost[{label}]"] = float(wc)
+                elif isinstance(wc, list):
+                    for pair in wc:
+                        if isinstance(pair, list) and len(pair) == 2:
+                            out[f"write_cost[{label}@{pair[0]}]"] = float(pair[1])
+        elif key == "write_costs" and isinstance(value, list):
+            for i, wc in enumerate(value):
+                if isinstance(wc, (int, float)):
+                    out[f"write_cost[{i}]"] = float(wc)
+    return out
+
+
+def _direction(metric: str) -> int | None:
+    """+1 higher-better, -1 lower-better, None unknown (informational)."""
+    if metric.startswith("write_cost"):
+        return -1
+    return METRIC_DIRECTIONS.get(metric)
+
+
+def bench_diff(
+    old: dict,
+    new: dict,
+    *,
+    threshold: float = 0.05,
+    include_perf: bool = True,
+) -> dict:
+    """Compare two bench records; verdict per shared metric and overall.
+
+    A metric regresses when it moves beyond ``threshold`` (relative)
+    in its bad direction — except exact counters like ``violations``,
+    where *any* increase regresses. Metrics with no known direction are
+    listed as ``informational`` and never affect the overall verdict.
+    With ``include_perf=False`` wall-clock-dependent metrics
+    (:data:`PERF_METRICS`) are informational too, for cross-machine
+    comparisons where timing noise would drown the signal.
+    """
+    old_metrics = _flatten_metrics(old)
+    new_metrics = _flatten_metrics(new)
+    shared = sorted(set(old_metrics) & set(new_metrics))
+    metrics = []
+    regressed: list[str] = []
+    improved: list[str] = []
+    for name in shared:
+        before, after = old_metrics[name], new_metrics[name]
+        delta = after - before
+        rel = (delta / abs(before)) if before else (math.inf if delta else 0.0)
+        direction = _direction(name)
+        if direction is None or (not include_perf and name in PERF_METRICS):
+            verdict = "informational"
+        elif name == "violations":
+            # Exact counter: any increase is a regression, full stop.
+            verdict = (
+                "regressed" if delta > 0 else "improved" if delta < 0 else "unchanged"
+            )
+        else:
+            bad = -direction  # sign of a move in the bad direction
+            if rel * bad > threshold:
+                verdict = "regressed"
+            elif rel * bad < -threshold:
+                verdict = "improved"
+            else:
+                verdict = "unchanged"
+        if verdict == "regressed":
+            regressed.append(name)
+        elif verdict == "improved":
+            improved.append(name)
+        metrics.append(
+            {
+                "metric": name,
+                "old": before,
+                "new": after,
+                "delta": delta,
+                "relative": rel,
+                "verdict": verdict,
+            }
+        )
+    overall = "regressed" if regressed else ("improved" if improved else "unchanged")
+    return {
+        "schema_old": old.get("schema"),
+        "schema_new": new.get("schema"),
+        "bench_old": old.get("bench"),
+        "bench_new": new.get("bench"),
+        "threshold": threshold,
+        "include_perf": include_perf,
+        "metrics": metrics,
+        "regressed": regressed,
+        "improved": improved,
+        "only_in_old": sorted(set(old_metrics) - set(new_metrics)),
+        "only_in_new": sorted(set(new_metrics) - set(old_metrics)),
+        "verdict": overall,
+    }
+
+
+def render_bench_diff(diff: dict) -> str:
+    """Text table of one :func:`bench_diff` result."""
+    from repro.analysis.ascii_chart import render_table
+
+    rows = []
+    for entry in diff["metrics"]:
+        rel = entry["relative"]
+        rel_text = "inf" if math.isinf(rel) else f"{rel:+.2%}"
+        rows.append(
+            [
+                entry["metric"],
+                f"{entry['old']:.6g}",
+                f"{entry['new']:.6g}",
+                rel_text,
+                entry["verdict"],
+            ]
+        )
+    title = (
+        f"bench diff: {diff.get('bench_old') or 'old'} -> "
+        f"{diff.get('bench_new') or 'new'} "
+        f"(threshold {diff['threshold']:.0%}"
+        f"{'' if diff['include_perf'] else ', perf informational'})"
+    )
+    lines = [render_table(["metric", "old", "new", "rel", "verdict"], rows, title=title)]
+    for side, names in (("old", diff["only_in_old"]), ("new", diff["only_in_new"])):
+        if names:
+            lines.append(f"only in {side}: {', '.join(names)}")
+    lines.append(f"verdict: {diff['verdict'].upper()}")
+    return "\n".join(lines)

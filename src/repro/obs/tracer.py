@@ -7,7 +7,20 @@ which derivation-heavy harnesses use so no ``clean.segment`` or
 kinds so a long production run can record only the events it will derive
 tables from. ``emitted_counts`` always counts every emit, before the
 kind filter and before ring eviction, so a summary stays truthful even
-when the ring dropped events.
+when the ring dropped events; ``dropped`` counts ring evictions
+explicitly so a bounded run can *say* how much history it lost.
+
+Live consumers (the segment ledger, the invariant watchdog) register via
+:meth:`Tracer.subscribe`; subscribers see **every** emitted event, before
+the kind filter and before ring eviction, so a bounded or filtered ring
+never starves them.
+
+JSONL framing (``TRACE_SCHEMA`` 2): the write-through file opens with a
+``{"kind": "trace.header", "schema": N}`` line and closes with a
+``trace.trailer`` line carrying total emit and drop counts (including a
+``warning`` when the ring dropped events). :func:`load_trace_jsonl`
+reads both framed and legacy headerless (schema 1) traces and fails with
+a clear message — never a KeyError — on malformed or too-new input.
 
 :class:`NullTracer` is the disabled configuration: ``emit`` is a bound
 no-op and ``enabled`` is False, so hook sites stay zero-cost beyond one
@@ -18,9 +31,16 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Iterable
+from typing import Callable, Iterable
 
-from repro.obs.events import Event
+from repro.obs.events import TRACE_SCHEMA, Event
+
+TRACE_HEADER_KIND = "trace.header"
+TRACE_TRAILER_KIND = "trace.trailer"
+
+
+class TraceFormatError(ValueError):
+    """A trace JSONL file could not be understood (wrong schema, bad line)."""
 
 
 class Tracer:
@@ -39,14 +59,32 @@ class Tracer:
         self._ring: deque[Event] = deque(maxlen=capacity)
         self._kinds = frozenset(kinds) if kinds is not None else None
         self.emitted_counts: dict[str, int] = {}
+        self._dropped = 0
+        self._subscribers: list[Callable[[Event], None]] = []
         self._jsonl = open(jsonl_path, "w") if jsonl_path else None
+        if self._jsonl is not None:
+            self._jsonl.write(
+                json.dumps({"kind": TRACE_HEADER_KIND, "schema": TRACE_SCHEMA}) + "\n"
+            )
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Deliver every future emit to ``callback`` (pre-filter, pre-drop)."""
+        self._subscribers.append(callback)
 
     def emit(self, kind: str, time: float, cause: str | None = None, **fields) -> None:
         """Record one event (dropped silently if the kind is filtered out)."""
         self.emitted_counts[kind] = self.emitted_counts.get(kind, 0) + 1
+        event = None
+        if self._subscribers:
+            event = Event(time=time, kind=kind, cause=cause, fields=fields)
+            for callback in self._subscribers:
+                callback(event)
         if self._kinds is not None and kind not in self._kinds:
             return
-        event = Event(time=time, kind=kind, cause=cause, fields=fields)
+        if event is None:
+            event = Event(time=time, kind=kind, cause=cause, fields=fields)
+        if self.capacity is not None and len(self._ring) == self.capacity:
+            self._dropped += 1
         self._ring.append(event)
         if self._jsonl is not None:
             self._jsonl.write(json.dumps(event.to_dict()) + "\n")
@@ -68,21 +106,36 @@ class Tracer:
     @property
     def dropped(self) -> int:
         """Events evicted from the ring (excludes kind-filtered emits)."""
-        if self._kinds is None:
-            return self.total_emitted - len(self._ring)
-        kept = sum(n for k, n in self.emitted_counts.items() if k in self._kinds)
-        return kept - len(self._ring)
+        return self._dropped
 
     def export_jsonl(self, path: str) -> int:
-        """Write the retained ring to ``path`` as JSONL; returns line count."""
+        """Write the retained ring to ``path`` as framed JSONL; returns
+        event line count (framing lines excluded)."""
         with open(path, "w") as fh:
+            fh.write(json.dumps({"kind": TRACE_HEADER_KIND, "schema": TRACE_SCHEMA}) + "\n")
             for event in self._ring:
                 fh.write(json.dumps(event.to_dict()) + "\n")
+            fh.write(json.dumps(self._trailer()) + "\n")
         return len(self._ring)
 
+    def _trailer(self) -> dict:
+        trailer = {
+            "kind": TRACE_TRAILER_KIND,
+            "schema": TRACE_SCHEMA,
+            "events": self.total_emitted,
+            "ring_dropped": self._dropped,
+        }
+        if self._dropped:
+            trailer["warning"] = (
+                f"ring evicted {self._dropped} events; this file is complete "
+                "(write-through) but in-memory derivations saw a window"
+            )
+        return trailer
+
     def close(self) -> None:
-        """Flush and close the write-through JSONL file, if any."""
+        """Write the trailer line, then flush and close the JSONL file."""
         if self._jsonl is not None:
+            self._jsonl.write(json.dumps(self._trailer()) + "\n")
             self._jsonl.close()
             self._jsonl = None
 
@@ -93,6 +146,10 @@ class NullTracer:
     enabled = False
     capacity = 0
     emitted_counts: dict[str, int] = {}
+    dropped = 0
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        pass
 
     def emit(self, kind: str, time: float, cause: str | None = None, **fields) -> None:
         pass
@@ -113,3 +170,64 @@ class NullTracer:
 
 
 NULL_TRACER = NullTracer()
+
+
+def load_trace_jsonl(path: str) -> tuple[dict, list[Event]]:
+    """Read a trace JSONL file into ``(header, events)``.
+
+    Tolerant of legacy schema-1 traces (no header line): those get a
+    synthetic ``{"schema": 1}`` header. A trailer line, when present, is
+    folded into the header under ``"trailer"``. Raises
+    :class:`TraceFormatError` with a human-readable message on malformed
+    lines, missing kinds, or a schema newer than this reader supports.
+    """
+    header: dict = {"schema": 1}
+    events: list[Event] = []
+    try:
+        fh = open(path)
+    except OSError as exc:
+        raise TraceFormatError(f"{path}: cannot read ({exc.strerror})") from exc
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: not valid JSON ({exc.msg}); is this a trace file?"
+                ) from exc
+            if not isinstance(record, dict):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected a JSON object, got {type(record).__name__}"
+                )
+            kind = record.get("kind")
+            if kind is None:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: event line has no 'kind' field; "
+                    "not a repro trace (or written by an incompatible version)"
+                )
+            if kind == TRACE_HEADER_KIND:
+                schema = record.get("schema")
+                if not isinstance(schema, int):
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: trace header missing integer 'schema' field"
+                    )
+                if schema > TRACE_SCHEMA:
+                    raise TraceFormatError(
+                        f"{path}: trace schema {schema} is newer than this reader "
+                        f"(supports <= {TRACE_SCHEMA}); upgrade to read it"
+                    )
+                header = record
+                continue
+            if kind == TRACE_TRAILER_KIND:
+                header = dict(header)
+                header["trailer"] = record
+                continue
+            record = dict(record)
+            record.pop("kind")
+            time = record.pop("t", 0.0)
+            cause = record.pop("cause", None)
+            events.append(Event(time=time, kind=kind, cause=cause, fields=record))
+    return header, events

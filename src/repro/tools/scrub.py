@@ -237,16 +237,17 @@ def scrub_filesystem(fs, *, rescue: bool = False) -> ScrubReport:
     """
     fs._require_mounted()
     report = ScrubReport()
-    for seg_no in fs.usage.dirty_segments():
-        report.segments_scanned += 1
-        if not _scrub_segment(fs, seg_no, report):
-            continue
-        report.sick_segments.append(seg_no)
-        if rescue and not (
-            seg_no == fs.writer.current_segment or seg_no == fs.writer.next_segment
-        ):
-            rescued, lost = fs.cleaner.rescue_segment(seg_no)
-            report.segments_quarantined.append(seg_no)
-            report.blocks_rescued += rescued
-            report.blocks_lost += lost
+    with fs._span("scrub", rescue=rescue):
+        for seg_no in fs.usage.dirty_segments():
+            report.segments_scanned += 1
+            if not _scrub_segment(fs, seg_no, report):
+                continue
+            report.sick_segments.append(seg_no)
+            if rescue and not (
+                seg_no == fs.writer.current_segment or seg_no == fs.writer.next_segment
+            ):
+                rescued, lost = fs.cleaner.rescue_segment(seg_no)
+                report.segments_quarantined.append(seg_no)
+                report.blocks_rescued += rescued
+                report.blocks_lost += lost
     return report

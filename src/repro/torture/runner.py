@@ -21,12 +21,14 @@ import random
 import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.config import compute_layout
 from repro.core.errors import LFSError, MediaError
 from repro.core.filesystem import LFS
 from repro.disk.faults import FAULT_MODES, DiskCrashed, inject_media_faults
+from repro.obs import Observation, SegmentLedger, Watchdog
 from repro.simulator.sweep import derive_point_seed, resolve_workers
 from repro.tools.lfsck import check_filesystem
 from repro.tools.scrub import scrub_filesystem
@@ -81,27 +83,59 @@ class PointResult:
         return line
 
 
+def _observe(watchdog: bool) -> Observation | None:
+    """Build the opt-in per-point observatory (None when off).
+
+    The ledger and watchdog are pure bookkeeping — they never touch the
+    simulated clock — so a watchdog-on run must produce the exact same
+    outcome digest as a watchdog-off run; an invariant violation surfaces
+    as a raised :class:`~repro.obs.InvariantViolation` instead.
+    """
+    if not watchdog:
+        return None
+    obs = Observation(ring_capacity=4096)
+    ledger = SegmentLedger()
+    ledger.install(obs)
+    Watchdog(ledger=ledger).install(obs)
+    return obs
+
+
 def explore_point(
-    recording: Recording, cut: int, variant: str, point_seed: int
+    recording: Recording,
+    cut: int,
+    variant: str,
+    point_seed: int,
+    *,
+    watchdog: bool = False,
 ) -> PointResult:
     """Replay to one crash point, recover, and verify.
 
     ``cut == recording.total_blocks`` replays the whole stream with no
     crash (the injector never fires), which checks the oracle against an
-    orderly-but-unflushed device.
+    orderly-but-unflushed device. ``watchdog`` attaches the segment
+    ledger + invariant watchdog to the point's replay and recovery.
     """
     if variant == "media":
-        return _explore_media_point(recording, cut, point_seed)
+        return _explore_media_point(recording, cut, point_seed, watchdog=watchdog)
     disk = recording.fresh_disk()
+    obs = _observe(watchdog)
+    if obs is not None:
+        obs.attach_disk(disk)
     if cut < recording.total_blocks:
         disk.crash(after_writes=cut, mode=variant, seed=point_seed)
     crash_exc: DiskCrashed | None = None
+    replay_span = (
+        obs.span("torture.replay", cut=cut, variant=variant)
+        if obs is not None
+        else nullcontext()
+    )
     try:
-        for addr, payloads in recording.requests:
-            if len(payloads) == 1:
-                disk.write_block(addr, payloads[0])
-            else:
-                disk.write_blocks(addr, list(payloads))
+        with replay_span:
+            for addr, payloads in recording.requests:
+                if len(payloads) == 1:
+                    disk.write_block(addr, payloads[0])
+                else:
+                    disk.write_blocks(addr, list(payloads))
     except DiskCrashed as exc:
         crash_exc = exc
     disk.power_on()
@@ -114,7 +148,7 @@ def explore_point(
         recording.ops, recording.barriers, cut
     )
     try:
-        fs = LFS.mount(disk, recording.config)
+        fs = LFS.mount(disk, recording.config, obs=obs)
     except LFSError as exc:
         result.ok = False
         result.violations.append(f"mount failed after crash: {exc}")
@@ -144,7 +178,7 @@ def explore_point(
 
 
 def _explore_media_point(
-    recording: Recording, cut: int, point_seed: int
+    recording: Recording, cut: int, point_seed: int, *, watchdog: bool = False
 ) -> PointResult:
     """Replay the whole stream, then age the platter and remount.
 
@@ -159,11 +193,20 @@ def _explore_media_point(
     the one outcome the defense stack promises is impossible.
     """
     disk = recording.fresh_disk()
-    for addr, payloads in recording.requests:
-        if len(payloads) == 1:
-            disk.write_block(addr, payloads[0])
-        else:
-            disk.write_blocks(addr, list(payloads))
+    obs = _observe(watchdog)
+    if obs is not None:
+        obs.attach_disk(disk)
+    replay_span = (
+        obs.span("torture.replay", cut=cut, variant="media")
+        if obs is not None
+        else nullcontext()
+    )
+    with replay_span:
+        for addr, payloads in recording.requests:
+            if len(payloads) == 1:
+                disk.write_block(addr, payloads[0])
+            else:
+                disk.write_blocks(addr, list(payloads))
 
     result = PointResult(cut=cut, variant="media")
     guaranteed, acceptable, _ = crash_state_bounds(
@@ -183,7 +226,7 @@ def _explore_media_point(
             result.error_op = exc.op
 
     try:
-        fs = LFS.mount(disk, recording.config)
+        fs = LFS.mount(disk, recording.config, obs=obs)
     except LFSError as exc:
         # Refusing to mount damaged metadata is the defense working, not
         # a violation; everything the image held is (detectably) lost.
@@ -232,16 +275,20 @@ def _explore_media_point(
 # parallel plumbing: the recording ships once per worker, not per point
 
 _WORKER_RECORDING: Recording | None = None
+_WORKER_WATCHDOG: bool = False
 
 
-def _init_worker(blob: bytes) -> None:
-    global _WORKER_RECORDING
+def _init_worker(blob: bytes, watchdog: bool = False) -> None:
+    global _WORKER_RECORDING, _WORKER_WATCHDOG
     _WORKER_RECORDING = pickle.loads(zlib.decompress(blob))
+    _WORKER_WATCHDOG = watchdog
 
 
 def _worker_point(cut: int, variant: str, point_seed: int) -> PointResult:
     assert _WORKER_RECORDING is not None, "worker initializer did not run"
-    return explore_point(_WORKER_RECORDING, cut, variant, point_seed)
+    return explore_point(
+        _WORKER_RECORDING, cut, variant, point_seed, watchdog=_WORKER_WATCHDOG
+    )
 
 
 # ----------------------------------------------------------------------
@@ -332,8 +379,14 @@ def run_torture(
     workers: int | None = None,
     variants: tuple[str, ...] = FAULT_MODES,
     exhaustive: bool = False,
+    watchdog: bool = False,
 ) -> TortureResult:
-    """Record one workload, then explore crash points across a pool."""
+    """Record one workload, then explore crash points across a pool.
+
+    ``watchdog`` runs every point under the segment ledger + invariant
+    watchdog (see :func:`_observe`); outcomes and the digest are
+    unchanged unless an invariant actually breaks, which raises.
+    """
     start = time.perf_counter()
     recording = record_workload(workload, seed)
     specs = select_points(
@@ -341,12 +394,12 @@ def run_torture(
     )
     nworkers = resolve_workers(workers, len(specs))
     if nworkers <= 1:
-        points = [explore_point(recording, *spec) for spec in specs]
+        points = [explore_point(recording, *spec, watchdog=watchdog) for spec in specs]
     else:
         blob = zlib.compress(pickle.dumps(recording))
         chunk = max(1, len(specs) // (nworkers * 4))
         with ProcessPoolExecutor(
-            max_workers=nworkers, initializer=_init_worker, initargs=(blob,)
+            max_workers=nworkers, initializer=_init_worker, initargs=(blob, watchdog)
         ) as pool:
             points = list(
                 pool.map(

@@ -104,6 +104,7 @@ def run_largefile(
     io_unit: int = 8192,
     cache_blocks: int | None = None,
     seed: int = 1234,
+    obs=None,
 ) -> LargeFileResult:
     """Run the Figure 9 benchmark on ``"lfs"`` or ``"ffs"``.
 
@@ -124,13 +125,14 @@ def run_largefile(
                 checkpoint_interval=0,
                 cache_blocks=cache,
             ),
+            obs=obs,
         )
     elif system == "ffs":
         blocks_needed = (file_size // 8192) * 2 + 8192
         geo = DiskGeometry.wren4(block_size=8192, num_blocks=max(40960, blocks_needed))
         disk = Disk(geo)
         cache = cache_blocks if cache_blocks is not None else 2048  # 16 MB
-        fs = FFS.format(disk, FFSConfig(cache_blocks=cache))
+        fs = FFS.format(disk, FFSConfig(cache_blocks=cache), obs=obs)
     else:
         raise ValueError(f"unknown system {system!r} (want 'lfs' or 'ffs')")
     return _drive(fs, disk, file_size, io_unit, system, seed)

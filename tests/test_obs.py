@@ -18,9 +18,11 @@ from repro.obs import (
     DATA_WRITE,
     MetricsRegistry,
     Observation,
+    TRACE_SCHEMA,
     TimeAttribution,
     Tracer,
     NullTracer,
+    load_trace_jsonl,
     scrape,
 )
 from repro.obs.derive import (
@@ -87,9 +89,15 @@ class TestTracer:
         tracer.emit(DISK_WRITE, 1.5, cause=DATA_WRITE, addr=7, blocks=2)
         tracer.close()
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert lines == [
-            {"t": 1.5, "kind": DISK_WRITE, "cause": DATA_WRITE, "addr": 7, "blocks": 2}
-        ]
+        # Schema-2 framing: header line first, trailer line last.
+        assert lines[0] == {"kind": "trace.header", "schema": TRACE_SCHEMA}
+        assert lines[1] == {
+            "t": 1.5, "kind": DISK_WRITE, "cause": DATA_WRITE, "addr": 7, "blocks": 2
+        }
+        assert lines[-1]["kind"] == "trace.trailer"
+        assert lines[-1]["events"] == 1
+        assert lines[-1]["ring_dropped"] == 0
+        assert "warning" not in lines[-1]
 
     def test_export_jsonl_roundtrip(self, tmp_path):
         tracer = Tracer()
@@ -98,7 +106,10 @@ class TestTracer:
         path = tmp_path / "out.jsonl"
         assert tracer.export_jsonl(str(path)) == 2
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert [l["kind"] for l in lines] == ["x", "y"]
+        assert [l["kind"] for l in lines] == ["trace.header", "x", "y", "trace.trailer"]
+        header, events = load_trace_jsonl(str(path))
+        assert header["schema"] == TRACE_SCHEMA
+        assert [(e.kind, e.fields["n"]) for e in events] == [("x", 1), ("y", 2)]
 
     def test_null_tracer_is_inert(self, tmp_path):
         null = NullTracer()
