@@ -35,10 +35,13 @@ from repro.disk.image import load_disk, save_disk
 from repro.simulator.model import SimConfig
 from repro.simulator.policies import GroupingPolicy, SelectionPolicy
 from repro.simulator.sweep import (
+    ENGINES,
     SweepPoint,
     derive_point_seed,
     record_bench,
+    resolve_engine,
     resolve_workers,
+    result_digest,
     run_sweep,
 )
 from repro.tools.dumplog import dump_checkpoints, dump_segment, dump_superblock
@@ -326,7 +329,8 @@ def cmd_dump(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_points(args: argparse.Namespace) -> tuple[list[SweepPoint], list[tuple]]:
+    """The sweep grid a ``sweep``/``profile`` invocation describes."""
     utils = [float(u) for u in args.utils.split(",") if u]
     selections = [SelectionPolicy(p) for p in args.policies.split(",") if p]
     groupings = [GroupingPolicy(g) for g in args.grouping.split(",") if g]
@@ -354,10 +358,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     )
                     points.append(SweepPoint(cfg, pattern))
                     labels.append((util, selection.value, grouping.value, pattern))
+    return points, labels
 
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    points, labels = _sweep_points(args)
+    engine = resolve_engine(args.engine)
     workers = resolve_workers(args.workers, len(points))
     t0 = time.perf_counter()
-    results = run_sweep(points, workers=workers)
+    results = run_sweep(points, workers=workers, engine=engine)
     wall = time.perf_counter() - t0
 
     rows = [
@@ -371,7 +380,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"sweep — {len(points)} points, {workers} worker(s), "
-                f"{wall:.2f}s wall, {steps / wall:,.0f} steps/s"
+                f"{engine} engine, {wall:.2f}s wall, {steps / wall:,.0f} steps/s"
             ),
         )
     )
@@ -389,12 +398,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"{util}/{sel}/{grp}/{pat}": r.write_cost
                 for (util, sel, grp, pat), r in zip(labels, results)
             },
+            engine=engine,
+            digest=result_digest(results),
             extra={"points": len(points), "base_seed": args.seed},
         )
         if out.suffix:  # an explicit file name, not a directory
             path.rename(out)
             path = out
         print(f"recorded {path}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a sweep under cProfile and print the ranked hotspots."""
+    import cProfile
+    import pstats
+
+    points, _ = _sweep_points(args)
+    engine = resolve_engine(args.engine)
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    # Always in-process: a pool would move the work (and the profile)
+    # into child processes and leave nothing here but pickling.
+    results = run_sweep(points, workers=1, engine=engine)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+
+    steps = sum(r.total_steps for r in results)
+    print(
+        f"profile — {len(points)} points, {engine} engine, "
+        f"{wall:.2f}s wall, {steps / wall:,.0f} steps/s, "
+        f"digest {result_digest(results)}"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out} (open with pstats or snakeviz)")
     return 0
 
 
@@ -677,6 +718,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoints", action="store_true")
     p.set_defaults(func=cmd_dump)
 
+    def add_sweep_grid(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--utils", default="0.2,0.4,0.6,0.75,0.8,0.9", help="comma-separated disk utilizations")
+        p.add_argument("--policies", default="greedy,cost-benefit", help="comma-separated selection policies")
+        p.add_argument("--grouping", default="age-sort", help="comma-separated grouping policies (none, age-sort)")
+        p.add_argument("--patterns", default="uniform,hot-cold", help="comma-separated access patterns (uniform, hot-cold, hot-cold:H/A)")
+        p.add_argument("--segments", type=int, default=100, help="segments on the simulated disk")
+        p.add_argument("--blocks", type=int, default=128, help="blocks per segment")
+        p.add_argument("--warmup-factor", type=float, default=8.0)
+        p.add_argument("--measure-factor", type=float, default=4.0)
+        p.add_argument("--max-windows", type=int, default=25)
+        p.add_argument("--seed", type=int, default=42, help="base seed; per-point seeds derive from it")
+        p.add_argument("--engine", default="auto", choices=ENGINES, help="simulator engine (auto = vectorized when numpy is available)")
+
     p = sub.add_parser(
         "sweep",
         help="run a cleaning-simulator sweep across a process pool",
@@ -685,23 +739,30 @@ def build_parser() -> argparse.ArgumentParser:
             "policy x grouping x pattern. Points run in parallel across a "
             "process pool; per-point seeds derive deterministically from "
             "--seed, so the same invocation always reproduces the same "
-            "write costs regardless of worker count."
+            "write costs regardless of worker count or engine choice."
         ),
     )
-    p.add_argument("--utils", default="0.2,0.4,0.6,0.75,0.8,0.9", help="comma-separated disk utilizations")
-    p.add_argument("--policies", default="greedy,cost-benefit", help="comma-separated selection policies")
-    p.add_argument("--grouping", default="age-sort", help="comma-separated grouping policies (none, age-sort)")
-    p.add_argument("--patterns", default="uniform,hot-cold", help="comma-separated access patterns (uniform, hot-cold, hot-cold:H/A)")
-    p.add_argument("--segments", type=int, default=100, help="segments on the simulated disk")
-    p.add_argument("--blocks", type=int, default=128, help="blocks per segment")
-    p.add_argument("--warmup-factor", type=float, default=8.0)
-    p.add_argument("--measure-factor", type=float, default=4.0)
-    p.add_argument("--max-windows", type=int, default=25)
-    p.add_argument("--seed", type=int, default=42, help="base seed; per-point seeds derive from it")
+    add_sweep_grid(p)
     p.add_argument("--workers", type=int, default=None, help="process-pool size (default: $REPRO_SWEEP_WORKERS or cpu count)")
     p.add_argument("--json", default=None, help="record a BENCH_*.json here (file or directory)")
     p.add_argument("--bench-name", default="sweep", help="bench name used in the JSON record")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a sweep under cProfile and rank the hotspots",
+        description=(
+            "Run the same grid as `sweep` in-process under cProfile and "
+            "print the ranked hotspot report — the tool that found the "
+            "vectorized engine's remaining per-round costs. --out dumps "
+            "the raw pstats file for offline viewers."
+        ),
+    )
+    add_sweep_grid(p)
+    p.add_argument("--sort", default="tottime", choices=("tottime", "cumulative", "ncalls"), help="stat used to rank the report")
+    p.add_argument("--limit", type=int, default=25, help="rows to print")
+    p.add_argument("--out", default=None, help="also dump raw pstats data to this path")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "torture",

@@ -4,10 +4,20 @@
 for every request using its :class:`~repro.disk.geometry.DiskGeometry`.
 Multi-block requests to contiguous addresses pay one seek plus one streamed
 transfer — exactly the economics that make log-structured writes fast.
+
+Contents live in contiguous ``bytearray`` extents (allocated lazily in
+fixed-size chunks so multi-gigabyte devices cost nothing until written)
+rather than a per-block dict. Read APIs still return immutable ``bytes``
+snapshots — callers retain payloads (the block cache, torture recordings),
+so handing out live views would alias later writes. :meth:`view` is the
+explicit zero-copy path for scan-and-discard consumers (checksums, image
+dumps): a read-only ``memoryview`` of the underlying extent, valid only
+until the next write.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.errors import DiskRangeError, MediaError
@@ -15,6 +25,25 @@ from repro.disk.faults import CrashInjector, DiskCrashed, MediaFaultModel
 from repro.disk.geometry import DiskGeometry
 from repro.disk.timing import IOStats, RetryPolicy, SimClock
 from repro.obs.events import MEDIA_ERROR, MEDIA_RETRY
+
+# Blocks per lazily allocated image extent. 4096 blocks is 16 MiB at the
+# default 4 KiB block size — big enough that any segment-sized request
+# stays inside one extent, small enough that sparse images stay cheap.
+_CHUNK_BLOCKS = 4096
+
+
+@dataclass(frozen=True)
+class DiskState:
+    """A picklable snapshot of device contents (see ``Disk.snapshot_state``).
+
+    ``chunks`` mirrors the lazy extent table (``None`` = never allocated);
+    ``written`` is the exact set of block addresses ever written, which
+    must be preserved independently of the extents so that
+    ``written_addresses()`` round-trips through snapshot/restore.
+    """
+
+    chunks: tuple[bytes | None, ...]
+    written: frozenset[int]
 
 
 class Disk:
@@ -40,7 +69,11 @@ class Disk:
         # Optional observability hook (repro.obs.Observation). None means
         # disabled: the only cost on the request path is this one check.
         self.obs = None
-        self._blocks: dict[int, bytes] = {}
+        # Lazily allocated contiguous extents; _written tracks the exact
+        # block addresses ever stored (writes, torn remnants, bit rot).
+        nchunks = -(-self.geometry.num_blocks // _CHUNK_BLOCKS)
+        self._chunks: list[bytearray | None] = [None] * nchunks
+        self._written: set[int] = set()
         self._zero_block = bytes(self.geometry.block_size)
         # ``_head`` is the address at which the *next* request would be
         # sequential — one past the last block accessed (see _account).
@@ -71,6 +104,35 @@ class Disk:
         if len(data) < self.geometry.block_size:
             data = data + bytes(self.geometry.block_size - len(data))
         return data
+
+    # ------------------------------------------------------------------
+    # image storage
+
+    def _chunk(self, index: int) -> bytearray:
+        """The extent holding chunk ``index``, allocated on first touch."""
+        c = self._chunks[index]
+        if c is None:
+            lo = index * _CHUNK_BLOCKS
+            span = min(_CHUNK_BLOCKS, self.geometry.num_blocks - lo)
+            c = self._chunks[index] = bytearray(span * self.geometry.block_size)
+        return c
+
+    def _load(self, addr: int) -> bytes:
+        """One block's contents as an immutable snapshot."""
+        if addr not in self._written:
+            return self._zero_block
+        bs = self.geometry.block_size
+        index, slot = divmod(addr, _CHUNK_BLOCKS)
+        off = slot * bs
+        return bytes(self._chunks[index][off : off + bs])
+
+    def _store(self, addr: int, payload: bytes) -> None:
+        """Store one exactly-block-sized payload into the image."""
+        bs = self.geometry.block_size
+        index, slot = divmod(addr, _CHUNK_BLOCKS)
+        off = slot * bs
+        self._chunk(index)[off : off + bs] = payload
+        self._written.add(addr)
 
     def _account(
         self, to_block: int, nblocks: int, *, write: bool, force_latency: bool = False
@@ -158,7 +220,7 @@ class Disk:
         self.faults.check_read(addr)
         self._media_check(addr, 1, "read")
         self._account(addr, 1, write=False, force_latency=force_latency)
-        return self._blocks.get(addr, self._zero_block)
+        return self._load(addr)
 
     def read_blocks(self, addr: int, count: int) -> list[bytes]:
         """Read ``count`` contiguous blocks as one streamed request."""
@@ -166,7 +228,7 @@ class Disk:
         self.faults.check_read(addr)
         self._media_check(addr, count, "read")
         self._account(addr, count, write=False)
-        return [self._blocks.get(addr + i, self._zero_block) for i in range(count)]
+        return [self._load(addr + i) for i in range(count)]
 
     def write_block(self, addr: int, data: bytes, *, force_latency: bool = False) -> None:
         """Write one block (short payloads are zero-padded).
@@ -188,13 +250,11 @@ class Disk:
         try:
             self.faults.check_write(addr)
         except DiskCrashed:
-            torn = self.faults.torn_payload(
-                payload, self._blocks.get(addr, self._zero_block)
-            )
+            torn = self.faults.torn_payload(payload, self._load(addr))
             if torn is not None:
-                self._blocks[addr] = torn
+                self._store(addr, torn)
             raise
-        self._blocks[addr] = payload
+        self._store(addr, payload)
 
     def write_blocks(self, addr: int, blocks: Sequence[bytes]) -> None:
         """Write contiguous blocks as one streamed request.
@@ -221,7 +281,27 @@ class Disk:
     def peek(self, addr: int) -> bytes:
         """Read block contents without advancing time (for tests/tools)."""
         self._check_range(addr)
-        return self._blocks.get(addr, self._zero_block)
+        return self._load(addr)
+
+    def view(self, addr: int, count: int = 1) -> memoryview:
+        """A read-only window onto stored bytes — no time, no copy.
+
+        Zero-copy whenever the range sits inside one image extent (any
+        segment-sized range does); a range spanning extents, or one whose
+        extent was never allocated, falls back to a snapshot. The view
+        aliases live storage: it is valid only until the next write, and
+        callers that retain payloads must use :meth:`peek` instead.
+        """
+        self._check_range(addr, count)
+        bs = self.geometry.block_size
+        index, slot = divmod(addr, _CHUNK_BLOCKS)
+        if (addr + count - 1) // _CHUNK_BLOCKS == index:
+            c = self._chunks[index]
+            if c is None:
+                return memoryview(bytes(count * bs))
+            off = slot * bs
+            return memoryview(c).toreadonly()[off : off + count * bs]
+        return memoryview(b"".join(self._load(addr + i) for i in range(count)))
 
     def corrupt_block(self, addr: int, payload: bytes) -> None:
         """Silently replace stored bytes — no time, no stats, no faults.
@@ -231,11 +311,30 @@ class Disk:
         a checksum fails.
         """
         self._check_range(addr)
-        self._blocks[addr] = self._check_payload(payload)
+        self._store(addr, self._check_payload(payload))
 
     def written_addresses(self) -> Iterable[int]:
         """Addresses of every block that has ever been written."""
-        return self._blocks.keys()
+        return self._written
+
+    def snapshot_state(self) -> DiskState:
+        """Capture contents for later :meth:`restore_state` (picklable)."""
+        return DiskState(
+            chunks=tuple(bytes(c) if c is not None else None for c in self._chunks),
+            written=frozenset(self._written),
+        )
+
+    def restore_state(self, state: DiskState) -> None:
+        """Replace contents with a prior :meth:`snapshot_state` capture."""
+        if len(state.chunks) != len(self._chunks):
+            raise DiskRangeError(
+                f"snapshot of {len(state.chunks)} extents does not fit a "
+                f"device of {len(self._chunks)} extents"
+            )
+        self._chunks = [
+            bytearray(c) if c is not None else None for c in state.chunks
+        ]
+        self._written = set(state.written)
 
     def crash(
         self, *, after_writes: int | None = None, mode: str = "clean", seed: int = 0
@@ -266,5 +365,5 @@ class Disk:
         return (
             f"Disk(blocks={self.geometry.num_blocks}, "
             f"block_size={self.geometry.block_size}, "
-            f"written={len(self._blocks)})"
+            f"written={len(self._written)})"
         )

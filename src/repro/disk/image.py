@@ -42,7 +42,7 @@ def save_disk(disk: Disk, path: str) -> int:
         fh.write(header)
         for addr in records:
             fh.write(struct.pack("<Q", addr))
-            fh.write(disk.peek(addr))
+            fh.write(disk.view(addr))
     return len(records)
 
 
@@ -81,5 +81,5 @@ def load_disk(path: str) -> Disk:
             if len(addr_raw) != 8 or len(payload) != block_size:
                 raise CorruptionError("disk image block records truncated")
             (addr,) = struct.unpack("<Q", addr_raw)
-            disk._blocks[addr] = payload
+            disk._store(addr, payload)
     return disk

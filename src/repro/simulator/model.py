@@ -14,6 +14,7 @@ block counts, which is exactly the currency of the write-cost metric.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 from repro.simulator.patterns import AccessPattern, UniformPattern
@@ -143,11 +144,20 @@ class Simulator:
         self.file_mtime = [0.0] * config.num_files
         self.seg_live = [0] * S
         self.seg_mtime = [0.0] * S
-        self.seg_files: list[set[int]] = [set() for _ in range(S)]
+        # Per-segment live-file membership, iterated in *log order* (the
+        # order blocks were appended): insertion-ordered dicts with None
+        # values. Log order is what a real segment scan would yield, it
+        # is deterministic across engines (unlike set hash order), and
+        # the vectorized engine's slot table reproduces it exactly.
+        self.seg_files: list[dict[int, None]] = [{} for _ in range(S)]
         self.clean_segs = list(range(S - 1, -1, -1))  # stack, pop() -> seg 0 first
         self.clean_set = set(self.clean_segs)  # O(1) membership, kept in sync
         self.cur_seg = self.clean_segs.pop()
         self.clean_set.discard(self.cur_seg)
+        # All non-clean segments, kept sorted ascending: the cleaner's
+        # candidate universe, maintained incrementally instead of being
+        # rebuilt by an O(num_segments) range scan per cleaner call.
+        self._inlog: list[int] = [self.cur_seg]
         self.cur_fill = 0
         self.out_seg = -1  # cleaner's output segment
         self.out_fill = 0
@@ -187,6 +197,7 @@ class Simulator:
             raise RuntimeError("cleaner could not produce a clean segment")
         seg = self.clean_segs.pop()
         self.clean_set.discard(seg)
+        insort(self._inlog, seg)
         return seg
 
     def _append_new(self, f: int) -> None:
@@ -197,7 +208,7 @@ class Simulator:
         seg = self.cur_seg
         self.file_seg[f] = seg
         self.seg_live[seg] += 1
-        self.seg_files[seg].add(f)
+        self.seg_files[seg][f] = None
         self._score_dirty.add(seg)
         if self.file_mtime[f] > self.seg_mtime[seg]:
             self.seg_mtime[seg] = self.file_mtime[f]
@@ -213,11 +224,12 @@ class Simulator:
                 raise RuntimeError("cleaner ran out of output segments")
             self.out_seg = self.clean_segs.pop()
             self.clean_set.discard(self.out_seg)
+            insort(self._inlog, self.out_seg)
             self.out_fill = 0
         seg = self.out_seg
         self.file_seg[f] = seg
         self.seg_live[seg] += 1
-        self.seg_files[seg].add(f)
+        self.seg_files[seg][f] = None
         self._score_dirty.add(seg)
         if self.file_mtime[f] > self.seg_mtime[seg]:
             self.seg_mtime[seg] = self.file_mtime[f]
@@ -233,7 +245,7 @@ class Simulator:
         old = self.file_seg[f]
         if old >= 0:
             self.seg_live[old] -= 1
-            self.seg_files[old].discard(f)
+            self.seg_files[old].pop(f, None)
             self._score_dirty.add(old)
         self.file_mtime[f] = float(self.step_no)
         self._append_new(f)
@@ -242,12 +254,10 @@ class Simulator:
     # cleaning
 
     def _candidates(self) -> list[int]:
-        # the clean set is maintained incrementally, not rebuilt per call
-        clean = self.clean_set
+        # ``_inlog`` is exactly the non-clean segments, already sorted
+        # ascending, so no range scan over all of num_segments is needed
         return [
-            s
-            for s in range(self.config.num_segments)
-            if s not in clean and s != self.cur_seg and s != self.out_seg
+            s for s in self._inlog if s != self.cur_seg and s != self.out_seg
         ]
 
     def _victim_excluded(self, seg: int) -> bool:
@@ -328,10 +338,11 @@ class Simulator:
                 live_files.extend(self.seg_files[v])
                 # the victim's space is reclaimed; its live data is in hand
                 self.seg_live[v] = 0
-                self.seg_files[v] = set()
+                self.seg_files[v] = {}
                 self.seg_mtime[v] = 0.0
                 self.clean_segs.append(v)
                 self.clean_set.add(v)
+                del self._inlog[bisect_left(self._inlog, v)]
                 self._score_dirty.add(v)
                 self.segments_cleaned += 1
             if self.config.grouping == GroupingPolicy.AGE_SORT:

@@ -16,6 +16,7 @@ the repo is measurable from run to run.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import subprocess
@@ -32,6 +33,8 @@ from repro.simulator.patterns import AccessPattern, HotColdPattern, UniformPatte
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
 PATTERN_SPECS = ("uniform", "hot-cold")
+
+ENGINES = ("auto", "reference", "vectorized")
 
 
 def make_pattern(spec: str) -> AccessPattern:
@@ -70,6 +73,71 @@ def run_point(point: SweepPoint) -> SimResult:
     return Simulator(point.config, make_pattern(point.pattern)).run()
 
 
+def have_numpy() -> bool:
+    """Whether the optional vectorized engine's dependency is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_engine(engine: str = "auto") -> str:
+    """Pick the concrete sweep engine: ``reference`` or ``vectorized``.
+
+    ``auto`` selects the vectorized engine when numpy is importable and
+    silently falls back to the reference engine otherwise (the two are
+    bit-identical, so this is purely a speed decision). Requesting
+    ``vectorized`` explicitly without numpy is an error.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    if engine == "auto":
+        return "vectorized" if have_numpy() else "reference"
+    if engine == "vectorized" and not have_numpy():
+        raise RuntimeError(
+            "vectorized engine requires numpy (pip extra: repro[perf]); "
+            "use --engine reference or auto"
+        )
+    return engine
+
+
+def _run_fleet_chunk(points: Sequence[SweepPoint]) -> list[SimResult]:
+    """Vectorized work function: one worker's chunk as a fused fleet."""
+    from repro.simulator.batch import run_fleet
+
+    return run_fleet([(p.config, make_pattern(p.pattern)) for p in points])
+
+
+def result_digest(results: Iterable[SimResult]) -> str:
+    """A short stable digest of a result list's oracle fields.
+
+    Covers exactly the fields the engine-identity proof asserts —
+    write cost, the block/segment counters, the cleaned-segment
+    utilizations, and the utilization histogram — so a reference and a
+    vectorized run of the same points produce the same digest, and any
+    engine divergence changes it. Floats are hashed via ``repr``, which
+    is exact for Python floats.
+    """
+    h = hashlib.sha256()
+    for r in results:
+        h.update(
+            repr(
+                (
+                    r.write_cost,
+                    r.new_blocks,
+                    r.moved_blocks,
+                    r.read_blocks,
+                    r.segments_cleaned,
+                    r.total_steps,
+                    r.cleaned_utilizations,
+                    r.utilization_histogram,
+                )
+            ).encode("utf-8")
+        )
+    return h.hexdigest()[:16]
+
+
 def derive_point_seed(base_seed: int, *parts: object) -> int:
     """A deterministic per-point seed from the sweep's base seed.
 
@@ -90,16 +158,35 @@ def resolve_workers(workers: int | None, njobs: int) -> int:
 
 
 def run_sweep(
-    points: Iterable[SweepPoint], workers: int | None = None
+    points: Iterable[SweepPoint],
+    workers: int | None = None,
+    *,
+    engine: str = "auto",
 ) -> list[SimResult]:
     """Run every point, in order, fanning across a process pool.
 
     ``workers=1`` (or a single point, or a single-core host) runs
     in-process; results are bit-identical either way because each point
-    carries its own seed and the simulator is deterministic.
+    carries its own seed and the simulator is deterministic — and
+    bit-identical across ``engine`` choices too (the vectorized engine
+    is proven equivalent to the reference simulator).
+
+    The vectorized engine batches each worker's points into one fused
+    fleet (shared numpy kernels across points), so it splits the sweep
+    into ``nworkers`` contiguous chunks instead of one task per point;
+    ordering stays deterministic because chunks are mapped in order and
+    re-concatenated.
     """
     points = list(points)
     nworkers = resolve_workers(workers, len(points))
+    if resolve_engine(engine) == "vectorized":
+        if nworkers <= 1:
+            return _run_fleet_chunk(points)
+        size = -(-len(points) // nworkers)
+        chunks = [points[i : i + size] for i in range(0, len(points), size)]
+        with ProcessPoolExecutor(max_workers=nworkers) as pool:
+            parts = list(pool.map(_run_fleet_chunk, chunks, chunksize=1))
+        return [r for part in parts for r in part]
     if nworkers <= 1:
         return [run_point(p) for p in points]
     with ProcessPoolExecutor(max_workers=nworkers) as pool:
@@ -151,20 +238,28 @@ def record_bench(
     workers: int | None = None,
     steps: int | None = None,
     write_costs: dict[str, list] | list | None = None,
+    engine: str | None = None,
+    digest: str | None = None,
     extra: dict | None = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 
-    Schema (version 1): ``bench``, ``schema``, ``wall_seconds``,
+    Schema (version 2): ``bench``, ``schema``, ``wall_seconds``,
     ``steps`` (simulated steps, if known), ``steps_per_sec``,
-    ``workers``, ``write_costs``, ``git_sha``, ``created_at`` (UTC
-    ISO-8601), plus any ``extra`` keys at top level.
+    ``workers``, ``write_costs``, ``engine`` (which simulator engine
+    produced the results), ``result_digest`` (see :func:`result_digest`
+    — ties the perf number to the exact outputs it was measured on),
+    ``cpu_count`` (perf numbers are meaningless without knowing the
+    host's parallelism), ``git_sha``, ``created_at`` (UTC ISO-8601),
+    plus any ``extra`` keys at top level. Schema 1 lacked ``engine``,
+    ``result_digest`` and ``cpu_count``; readers treat unknown keys as
+    informational, so 1 and 2 records diff cleanly against each other.
     """
     results_dir = Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     payload: dict = {
         "bench": name,
-        "schema": 1,
+        "schema": 2,
         "wall_seconds": round(wall_seconds, 6),
         "steps": steps,
         "steps_per_sec": (
@@ -172,6 +267,9 @@ def record_bench(
         ),
         "workers": workers,
         "write_costs": write_costs,
+        "engine": engine,
+        "result_digest": digest,
+        "cpu_count": os.cpu_count(),
         "git_sha": git_sha(),
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }

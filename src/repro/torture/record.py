@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import LFSConfig
 from repro.core.filesystem import LFS
-from repro.disk.device import Disk
+from repro.disk.device import Disk, DiskState
 from repro.disk.geometry import DiskGeometry
 from repro.disk.timing import SimClock
 from repro.torture.oracle import Barrier, ModelFS, OpRecord
@@ -44,13 +44,13 @@ class RecordingDisk(Disk):
     def write_block(self, addr: int, data: bytes, *, force_latency: bool = False) -> None:
         super().write_block(addr, data, force_latency=force_latency)
         if self.recording:
-            self.requests.append((addr, (self._blocks[addr],)))
+            self.requests.append((addr, (self.peek(addr),)))
             self.blocks_logged += 1
 
     def write_blocks(self, addr: int, blocks) -> None:
         super().write_blocks(addr, blocks)
         if self.recording:
-            payloads = tuple(self._blocks[addr + i] for i in range(len(blocks)))
+            payloads = tuple(self.peek(addr + i) for i in range(len(blocks)))
             self.requests.append((addr, payloads))
             self.blocks_logged += len(payloads)
 
@@ -59,7 +59,7 @@ class RecordingDisk(Disk):
 class Recording:
     """Everything a replay worker needs, in one picklable bundle.
 
-    ``base_blocks``/``base_clock`` capture the device right after
+    ``base_state``/``base_clock`` capture the device right after
     ``LFS.format`` (before recording starts); ``requests`` is the write
     stream issued after that; ``total_blocks`` is the stream's length in
     blocks, so crash cuts range over ``0..total_blocks`` inclusive
@@ -68,7 +68,7 @@ class Recording:
 
     geometry: DiskGeometry
     config: LFSConfig
-    base_blocks: dict[int, bytes]
+    base_state: DiskState
     base_clock: float
     requests: list[tuple[int, tuple[bytes, ...]]]
     total_blocks: int
@@ -80,7 +80,7 @@ class Recording:
     def fresh_disk(self) -> Disk:
         """A device restored to the post-format image, clock included."""
         disk = Disk(self.geometry, clock=SimClock(self.base_clock))
-        disk._blocks = dict(self.base_blocks)
+        disk.restore_state(self.base_state)
         return disk
 
 
@@ -98,7 +98,7 @@ class TortureRecorder:
         self._seed = seed
         # The formatted image itself is the first durability barrier: an
         # immediate crash must recover the empty root.
-        self._base_blocks = dict(self.disk._blocks)
+        self._base_state = self.disk.snapshot_state()
         self._base_clock = self.disk.clock.now
         self.disk.recording = True
         self.barriers.append(self.model.snapshot(-1, 0))
@@ -174,7 +174,7 @@ class TortureRecorder:
         return Recording(
             geometry=self.disk.geometry,
             config=self._config,
-            base_blocks=self._base_blocks,
+            base_state=self._base_state,
             base_clock=self._base_clock,
             requests=self.disk.requests,
             total_blocks=self.disk.blocks_logged,

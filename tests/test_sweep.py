@@ -143,16 +143,21 @@ class TestRecordBench:
             workers=2,
             steps=3000,
             write_costs={"0.75/greedy": 3.2},
+            engine="reference",
+            digest="0123456789abcdef",
             extra={"note": "test"},
         )
         assert path == tmp_path / "BENCH_unit.json"
         data = json.loads(path.read_text())
         assert data["bench"] == "unit"
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         assert data["wall_seconds"] == 1.5
         assert data["steps_per_sec"] == 2000.0
         assert data["workers"] == 2
         assert data["write_costs"] == {"0.75/greedy": 3.2}
+        assert data["engine"] == "reference"
+        assert data["result_digest"] == "0123456789abcdef"
+        assert isinstance(data["cpu_count"], int)
         assert data["note"] == "test"
         assert "git_sha" in data and "created_at" in data
 

@@ -73,7 +73,7 @@ class TestLfsckDetectsCorruption:
 
     def test_clobbered_superblock(self, populated):
         disk = populated.disk
-        disk._blocks[0] = bytes(4096)
+        disk.corrupt_block(0, bytes(4096))
         report = check_filesystem(disk)
         assert not report.ok
         assert any("superblock" in e for e in report.errors)
@@ -82,7 +82,7 @@ class TestLfsckDetectsCorruption:
         disk = populated.disk
         inum = populated.stat("/d/a").inum
         addr = populated.imap.get(inum).addr
-        disk._blocks[addr] = bytes(4096)
+        disk.corrupt_block(addr, bytes(4096))
         report = check_filesystem(disk)
         assert not report.ok
 
@@ -91,7 +91,7 @@ class TestLfsckDetectsCorruption:
         layout = populated.layout
         for start in (layout.checkpoint_a, layout.checkpoint_b):
             for i in range(layout.checkpoint_blocks):
-                disk._blocks[start + i] = bytes(4096)
+                disk.corrupt_block(start + i, bytes(4096))
         report = check_filesystem(disk)
         assert not report.ok
         assert any("checkpoint" in e for e in report.errors)

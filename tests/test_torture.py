@@ -222,7 +222,7 @@ class TestCheckpointRegionCRC:
         # Splice stale bytes into a middle block of the newest region,
         # as an out-of-order commit of the region write would.
         start = fs.layout.checkpoint_b if region_b else fs.layout.checkpoint_a
-        disk._blocks[start + 1] = bytes(disk.geometry.block_size)
+        disk.corrupt_block(start + 1, bytes(disk.geometry.block_size))
         with pytest.raises(CorruptionError, match="CRC"):
             read_checkpoint(disk, fs.layout, region_b=region_b)
         survivor, _ = read_latest_checkpoint(disk, fs.layout)
@@ -313,7 +313,7 @@ class TestTortureCLI:
         assert "torture — checkpoint" in out
         bench = json.loads((tmp_path / "BENCH_torture.json").read_text())
         assert bench["bench"] == "torture"
-        assert bench["schema"] == 1
+        assert bench["schema"] == 2
         assert bench["violations"] == 0
         assert bench["steps"] == 15
         assert bench["workload"] == "checkpoint"
@@ -353,7 +353,7 @@ class TestFsckCLI:
     def test_corrupt_image_exits_one(self, tmp_path, capsys):
         img = self._make_image(tmp_path)
         disk = load_disk(str(img))
-        disk._blocks[0] = bytes(disk.geometry.block_size)  # zero the superblock
+        disk.corrupt_block(0, bytes(disk.geometry.block_size))  # zero the superblock
         save_disk(disk, str(img))
         assert main(["fsck", str(img)]) == 1
         assert "CORRUPT" in capsys.readouterr().out
