@@ -499,6 +499,80 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant file server experiment to completion."""
+    from repro.server import ServerConfig, WorkloadConfig, run_server
+
+    workload = WorkloadConfig(
+        clients=args.clients,
+        tenants=args.tenants,
+        ops_per_client=args.ops,
+        files_per_client=args.files,
+        file_size=args.file_size,
+        mode=args.mode,
+        think_seconds=args.think,
+        seed=args.seed,
+    )
+    config = ServerConfig(
+        workload=workload,
+        policy=args.policy,
+        quantum=args.quantum,
+        cleaner=not args.no_cleaner,
+    )
+    t0 = time.perf_counter()
+    result = run_server(config, watchdog=args.watchdog)
+    wall = time.perf_counter() - t0
+
+    cleaner = "on" if result.cleaner else "off"
+    print(
+        f"serve — {result.clients} clients / {result.tenants} tenants, "
+        f"policy={result.policy}, cleaner={cleaner}, "
+        f"{result.requests} requests ({result.failed} failed), "
+        f"{result.elapsed_seconds:.2f}s simulated, {wall:.2f}s wall"
+    )
+    print(
+        f"loop: {result.events_fired} events, {result.cleaner_passes} cleaner "
+        f"passes, {result.checkpoints} checkpoints"
+    )
+    print(f"digest {result.digest}  latency-digest {result.latency_digest}")
+    print()
+    rows = []
+    for name, pct in result.latency.items():
+        rows.append(
+            [
+                name,
+                pct["count"],
+                f"{pct['p50']:.4f}",
+                f"{pct['p95']:.4f}",
+                f"{pct['p99']:.4f}",
+                f"{pct['p999']:.4f}",
+                f"{pct['max']:.4f}",
+            ]
+        )
+    print(
+        render_table(
+            ["histogram", "n", "p50", "p95", "p99", "p999", "max"],
+            rows,
+            title="request latency (simulated seconds)",
+        )
+    )
+    cleaning = result.tenant_cleaning_seconds
+    if cleaning:
+        print()
+        print(
+            render_table(
+                ["tenant", "cleaning seconds"],
+                [[t, f"{s:.4f}"] for t, s in sorted(cleaning.items())],
+                title="cleaner interference by tenant",
+            )
+        )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"\nwrote {args.json_out}")
+    return 0
+
+
 def cmd_bench_diff(args: argparse.Namespace) -> int:
     """Compare two BENCH_*.json records; exit 1 on regression."""
     from repro.obs import bench_diff, load_bench, render_bench_diff
@@ -824,6 +898,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ring", type=int, default=4096, help="ring capacity (0 = unbounded)")
     p.add_argument("--json-out", default=None, help="also write the report as JSON to this path")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant file server experiment",
+        description=(
+            "Serve a simulated client population through the event-loop "
+            "front-end: per-tenant namespaces, a pluggable admission "
+            "policy (FIFO or deficit round-robin), background cleaner "
+            "passes and checkpoints interleaved as loop events, and "
+            "latency histograms per tenant. Deterministic: the same "
+            "--seed reproduces the same event order and the same "
+            "digests, bit for bit."
+        ),
+    )
+    p.add_argument("--clients", type=int, default=1000, help="simulated clients")
+    p.add_argument("--tenants", type=int, default=4, help="tenants (clients assigned round-robin)")
+    p.add_argument("--ops", type=int, default=4, help="measured requests per client after setup")
+    p.add_argument("--files", type=int, default=2, help="working-set files per client")
+    p.add_argument("--file-size", type=int, default=1024, help="file / write payload bytes")
+    p.add_argument("--mode", default="closed", choices=("closed", "open"), help="closed-loop (think time) or open-loop (fixed rate) arrivals")
+    p.add_argument("--think", type=float, default=0.25, help="closed-loop mean think seconds")
+    p.add_argument("--policy", default="fifo", choices=("fifo", "drr"), help="admission policy")
+    p.add_argument("--quantum", type=float, default=8.0, help="DRR quantum in cost units (KB)")
+    p.add_argument("--no-cleaner", action="store_true", help="disable background cleaner passes (emergency cleaning only)")
+    p.add_argument("--seed", type=int, default=42, help="workload seed")
+    p.add_argument("--watchdog", action="store_true", help="attach the segment ledger + invariant watchdog")
+    p.add_argument("--json-out", default=None, help="write the full result as JSON to this path")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "bench-diff",

@@ -31,12 +31,15 @@ from repro.obs.attribution import (
     APPLICATION_READ,
     CAUSES,
     CHECKPOINT,
+    CLEANING_CAUSES,
     CLEANING_READ,
     CLEANING_WRITE,
     DATA_WRITE,
+    SYSTEM_TENANT,
     TimeAttribution,
 )
 from repro.obs.events import EVENT_KINDS, TRACE_SCHEMA, Event
+from repro.obs.histogram import LatencyHistogram
 from repro.obs.ledger import SegmentLedger, SegmentLife
 from repro.obs.observation import Observation
 from repro.obs.registry import MetricsRegistry, scrape
@@ -61,16 +64,19 @@ __all__ = [
     "APPLICATION_READ",
     "CAUSES",
     "CHECKPOINT",
+    "CLEANING_CAUSES",
     "CLEANING_READ",
     "CLEANING_WRITE",
     "DATA_WRITE",
     "EVENT_KINDS",
     "Event",
     "InvariantViolation",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Observation",
+    "SYSTEM_TENANT",
     "SegmentLedger",
     "SegmentLife",
     "SpanTracker",

@@ -25,7 +25,15 @@ kind               fields
 ``fs.readonly``    ``media_errors, budget``
 ``span.begin``     ``span, name[, parent, ...]``
 ``span.end``       ``span, name, dur``
+``server.arrive``  ``client, tenant, op, depth``
+``server.start``   ``client, tenant, op, wait``
+``server.done``    ``client, tenant, op, latency, service``
 =================  ====================================================
+
+Events emitted while a tenant attribution scope is open additionally
+carry a ``tenant`` field (the server wraps every request it services in
+one), so per-tenant views — busy-time rows, the ledger's
+blocks-by-tenant breakdown — derive from the same stream.
 
 Spans are nested scopes (a clean pass, a checkpoint, a scrub, a
 recovery) emitted into the same stream: ``span.begin`` opens a scope,
@@ -60,6 +68,9 @@ RECOVER_SCAVENGE = "recover.scavenge"
 FS_READONLY = "fs.readonly"
 SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
+SERVER_ARRIVE = "server.arrive"
+SERVER_START = "server.start"
+SERVER_DONE = "server.done"
 
 #: Version of the trace JSONL on-disk format. Bumped whenever the header,
 #: trailer, or event line shape changes incompatibly. Schema 1 traces had
@@ -85,6 +96,9 @@ EVENT_KINDS = (
     FS_READONLY,
     SPAN_BEGIN,
     SPAN_END,
+    SERVER_ARRIVE,
+    SERVER_START,
+    SERVER_DONE,
 )
 
 

@@ -1,0 +1,245 @@
+"""A latency histogram: exact for small N, log-bucketed at scale.
+
+Tail-latency percentiles are the multi-tenant server's headline metric,
+and they have two regimes. A smoke run completes a few hundred requests
+— there, percentiles should be *exact* (nearest-rank over the sorted
+samples), because a 19%-wide bucket would swallow the whole story. A
+10k-client run completes hundreds of thousands of requests — there,
+per-sample storage is waste, and geometrically spaced buckets answer
+"what is p999" with bounded relative error while staying mergeable
+across tenants, runs, and worker processes.
+
+:class:`LatencyHistogram` does both: it records exact samples until
+``exact_limit`` is crossed, then spills them into sparse log buckets
+(bucket ``i`` covers ``(base * growth**(i-1), base * growth**i]``) and
+keeps only counts from then on. Quantiles from the bucketed regime
+return the bucket's *upper* bound — a conservative tail estimate whose
+relative error is at most ``growth - 1``.
+
+Merging is closed under both regimes (exact+exact stays exact while it
+fits, anything else spills), and both the in-memory state and the
+``to_dict``/``from_dict`` JSON round-trip are deterministic: the same
+recorded sequence always digests identically, which is what lets the
+server's latency results be regression-gated like every other bench.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default number of exact samples retained before spilling to buckets.
+DEFAULT_EXACT_LIMIT = 512
+
+#: Default bucket growth factor: ~9.05% wide buckets, 165 buckets per
+#: decade-of-six (1e-5 s .. 10 s), worst-case quantile error < 10%.
+DEFAULT_GROWTH = 2 ** 0.125
+
+#: Default smallest resolved latency (10 microseconds of simulated time);
+#: everything at or below it lands in bucket 0.
+DEFAULT_BASE = 1e-5
+
+#: The percentile set reports quote, as (label, quantile) pairs.
+REPORT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999))
+
+
+class LatencyHistogram:
+    """Mergeable latency distribution with exact-then-bucketed storage."""
+
+    __slots__ = ("exact_limit", "base", "growth", "_log_growth",
+                 "count", "total", "min", "max", "_samples", "_buckets")
+
+    def __init__(
+        self,
+        *,
+        exact_limit: int = DEFAULT_EXACT_LIMIT,
+        base: float = DEFAULT_BASE,
+        growth: float = DEFAULT_GROWTH,
+    ) -> None:
+        if exact_limit < 0:
+            raise ValueError("exact_limit must be >= 0")
+        if base <= 0:
+            raise ValueError("base must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must exceed 1.0")
+        self.exact_limit = exact_limit
+        self.base = base
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        #: exact samples, or None once spilled to buckets
+        self._samples: list[float] | None = []
+        #: sparse bucket index -> count (only once spilled)
+        self._buckets: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def record(self, seconds: float) -> None:
+        """Add one latency observation (non-negative seconds)."""
+        if seconds < 0:
+            raise ValueError(f"negative latency {seconds!r}")
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        if self._samples is not None:
+            self._samples.append(seconds)
+            if len(self._samples) > self.exact_limit:
+                self._spill()
+        else:
+            b = self._bucket_index(seconds)
+            self._buckets[b] = self._buckets.get(b, 0) + 1
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.base:
+            return 0
+        return int(math.log(value / self.base) / self._log_growth) + 1
+
+    def bucket_upper(self, index: int) -> float:
+        """Upper latency bound of bucket ``index``."""
+        if index <= 0:
+            return self.base
+        return self.base * self.growth ** index
+
+    def _spill(self) -> None:
+        """Convert exact samples into sparse log buckets, once."""
+        buckets: dict[int, int] = self._buckets or {}
+        for v in self._samples or ():
+            b = self._bucket_index(v)
+            buckets[b] = buckets.get(b, 0) + 1
+        self._samples = None
+        self._buckets = buckets
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def exact(self) -> bool:
+        """Whether quantiles are still computed from exact samples."""
+        return self._samples is not None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile; bucket upper bound once spilled.
+
+        Returns 0.0 on an empty histogram. ``q`` must be in [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if self._samples is not None:
+            return sorted(self._samples)[rank - 1]
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                # The conservative tail answer: no sample in this bucket
+                # exceeds its upper bound, so p999 is never understated
+                # by more than the bucket width (growth - 1, relative).
+                return min(self.bucket_upper(index), self.max)
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The report-standard summary: count/mean/min/max + quantiles."""
+        out = {
+            "count": self.count,
+            "mean": self.mean,
+            "min": 0.0 if self.count == 0 else self.min,
+            "max": self.max,
+            "exact": self.exact,
+        }
+        for label, q in REPORT_QUANTILES:
+            out[label] = self.quantile(q)
+        return out
+
+    # ------------------------------------------------------------------
+    # merging and (de)serialization
+
+    def _compatible(self, other: "LatencyHistogram") -> None:
+        if (self.base, self.growth) != (other.base, other.growth):
+            raise ValueError(
+                "cannot merge histograms with different bucket geometry: "
+                f"base {self.base} vs {other.base}, "
+                f"growth {self.growth} vs {other.growth}"
+            )
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram (in place; returns self).
+
+        Exact + exact stays exact while the combined sample set fits
+        under ``exact_limit``; any other combination spills to buckets.
+        """
+        self._compatible(other)
+        if other.count:
+            self.count += other.count
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            if self._samples is not None and other._samples is not None:
+                self._samples.extend(other._samples)
+                if len(self._samples) > self.exact_limit:
+                    self._spill()
+            else:
+                if self._samples is not None:
+                    self._spill()
+                if other._samples is not None:
+                    for v in other._samples:
+                        b = self._bucket_index(v)
+                        self._buckets[b] = self._buckets.get(b, 0) + 1
+                else:
+                    for b, n in other._buckets.items():
+                        self._buckets[b] = self._buckets.get(b, 0) + n
+        return self
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (round-trips via from_dict)."""
+        out = {
+            "exact_limit": self.exact_limit,
+            "base": self.base,
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "min": 0.0 if self.count == 0 else self.min,
+            "max": self.max,
+        }
+        if self._samples is not None:
+            out["samples"] = list(self._samples)
+        else:
+            # JSON object keys are strings; sort for deterministic output.
+            out["buckets"] = {str(k): self._buckets[k] for k in sorted(self._buckets)}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        hist = cls(
+            exact_limit=data["exact_limit"],
+            base=data["base"],
+            growth=data["growth"],
+        )
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.min = data["min"] if hist.count else math.inf
+        hist.max = data["max"]
+        if "samples" in data:
+            hist._samples = list(data["samples"])
+        else:
+            hist._samples = None
+            hist._buckets = {int(k): v for k, v in data["buckets"].items()}
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        mode = "exact" if self.exact else "bucketed"
+        return f"LatencyHistogram(count={self.count}, {mode}, max={self.max:.6f})"

@@ -50,6 +50,10 @@ class SegmentLife:
     birth_seq: int | None = None
     writes: int = 0
     blocks_by_kind: dict[str, int] = field(default_factory=dict)
+    #: tenant -> blocks written into this segment on that tenant's
+    #: behalf (``log.write`` events emitted inside a tenant scope);
+    #: blocks written outside any scope are not tenant-attributed.
+    blocks_by_tenant: dict[str, int] = field(default_factory=dict)
     live_bytes: int = 0
     last_write: float = 0.0
     #: (time, live_bytes) samples, thinned to at most MAX_SAMPLES
@@ -163,6 +167,11 @@ class SegmentLedger:
             life.birth_seq = event.fields.get("seq")
         for kind_name, count in event.fields.get("kinds", {}).items():
             life.blocks_by_kind[kind_name] = life.blocks_by_kind.get(kind_name, 0) + count
+        tenant = event.fields.get("tenant")
+        if tenant is not None:
+            life.blocks_by_tenant[tenant] = (
+                life.blocks_by_tenant.get(tenant, 0) + event.fields.get("blocks", 0)
+            )
 
     def _close_life(self, event: Event, *, cause: str, utilization) -> None:
         seg_no = event.fields["segment"]
@@ -224,6 +233,18 @@ class SegmentLedger:
     def table2_summary(self) -> dict:
         """Table 2's cleaning stats via the shared derive arithmetic."""
         return cleaning_summary(self.cleaned_utilizations)
+
+    def tenant_blocks(self) -> dict[str, int]:
+        """Blocks written per tenant across every life (open and closed).
+
+        The server report's "who filled the log" view: which tenants'
+        data the cleaner will later have to move out of each segment.
+        """
+        totals: dict[str, int] = {}
+        for life in list(self.lives.values()) + self.history:
+            for tenant, blocks in life.blocks_by_tenant.items():
+                totals[tenant] = totals.get(tenant, 0) + blocks
+        return totals
 
     def death_causes(self) -> dict[str, int]:
         causes: dict[str, int] = {}

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from repro.obs.attribution import TimeAttribution
 from repro.obs.events import DISK_READ, DISK_WRITE
+from repro.obs.histogram import LatencyHistogram
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanTracker
 from repro.obs.tracer import Tracer
@@ -51,6 +52,10 @@ class Observation:
         self.attribution = TimeAttribution()
         self.registry = MetricsRegistry()
         self.spans = SpanTracker(self)
+        #: named latency histograms (the server records per-tenant and
+        #: global request latencies here; ``repro report`` renders any it
+        #: finds). Insertion-ordered, hence deterministic to serialize.
+        self.latency: dict[str, LatencyHistogram] = {}
         self._clock = None
         self._fs = None
         self._subscribers: list = []
@@ -113,6 +118,17 @@ class Observation:
         """Named nested scope; events inside carry this span's id."""
         return self.spans.span(name, **fields)
 
+    def tenant(self, name: str):
+        """Tenant scope: disk time and events inside are tagged ``name``."""
+        return self.attribution.tenant(name)
+
+    def histogram(self, name: str, **kwargs) -> LatencyHistogram:
+        """The named latency histogram, created on first use."""
+        hist = self.latency.get(name)
+        if hist is None:
+            hist = self.latency[name] = LatencyHistogram(**kwargs)
+        return hist
+
     def on_io(self, now: float, addr: int, nblocks: int, elapsed: float, *, write: bool, seeked: bool) -> None:
         """Per-request disk hook: charge attribution, emit a disk event."""
         self.attribution.charge(elapsed, write=write)
@@ -126,6 +142,9 @@ class Observation:
         span_id = self.spans.current
         if span_id is not None:
             fields["span"] = span_id
+        tenant = self.attribution.current_tenant
+        if tenant is not None:
+            fields["tenant"] = tenant
         self.tracer.emit(
             DISK_WRITE if write else DISK_READ,
             now,
@@ -140,4 +159,7 @@ class Observation:
         span_id = self.spans.current
         if span_id is not None and "span" not in fields:
             fields["span"] = span_id
+        tenant = self.attribution.current_tenant
+        if tenant is not None and "tenant" not in fields:
+            fields["tenant"] = tenant
         self.tracer.emit(kind, now, cause=cause, **fields)

@@ -46,8 +46,16 @@ PERF_METRICS = frozenset({"steps_per_sec", "wall_seconds", "mean_recovery_second
 # run reports
 
 
-def build_report(obs, fs=None, ledger=None, *, name: str = "run") -> dict:
-    """One run's observatory summary as a JSON-serializable dict."""
+def build_report(obs, fs=None, ledger=None, *, name: str = "run", latency=None) -> dict:
+    """One run's observatory summary as a JSON-serializable dict.
+
+    ``latency`` is an optional ``{name: LatencyHistogram}`` mapping; when
+    omitted, any histograms registered on ``obs.latency`` (the server
+    records per-tenant and global request latencies there) are used. The
+    report then gains a ``latency`` section with p50/p95/p99/p999 + max
+    per histogram. The tenant x cause busy-time matrix rides along in
+    the attribution section whenever tenant scopes charged any time.
+    """
     report: dict = {
         "schema": REPORT_SCHEMA,
         "name": name,
@@ -64,6 +72,19 @@ def build_report(obs, fs=None, ledger=None, *, name: str = "run") -> dict:
             "ring_dropped": obs.tracer.dropped,
         },
     }
+    if obs.attribution.tenant_seconds:
+        report["attribution"]["tenants"] = {
+            t: dict(row) for t, row in sorted(obs.attribution.tenant_seconds.items())
+        }
+        report["attribution"]["tenant_cleaning_seconds"] = (
+            obs.attribution.tenant_cleaning_seconds()
+        )
+    if latency is None:
+        latency = getattr(obs, "latency", None)
+    if latency:
+        report["latency"] = {
+            hist_name: hist.percentiles() for hist_name, hist in latency.items()
+        }
     if "io" in obs.registry.names():
         report["io"] = scrape(obs.registry.source("io"))
     if fs is not None:
@@ -111,6 +132,44 @@ def render_report(report: dict) -> str:
     if rows:
         lines.append(render_table(["cause", "seconds", "fraction"], rows,
                                   title="busy-time attribution"))
+
+    tenants = attribution.get("tenants")
+    if tenants:
+        cleaning = attribution.get("tenant_cleaning_seconds", {})
+        rows = []
+        for tenant, row in sorted(tenants.items()):
+            total = sum(row.values())
+            interference = cleaning.get(tenant, 0.0)
+            rows.append(
+                [
+                    tenant,
+                    f"{total:.6f}",
+                    f"{interference:.6f}",
+                    f"{interference / total:.4f}" if total > 0 else "-",
+                ]
+            )
+        lines.append(render_table(
+            ["tenant", "disk seconds", "cleaning", "cleaning share"],
+            rows, title="per-tenant busy-time (cleaner interference)"))
+
+    latency = report.get("latency")
+    if latency:
+        rows = [
+            [
+                name,
+                str(p.get("count", 0)),
+                f"{p.get('p50', 0.0):.6f}",
+                f"{p.get('p95', 0.0):.6f}",
+                f"{p.get('p99', 0.0):.6f}",
+                f"{p.get('p999', 0.0):.6f}",
+                f"{p.get('max', 0.0):.6f}",
+                "exact" if p.get("exact") else "bucketed",
+            ]
+            for name, p in latency.items()
+        ]
+        lines.append(render_table(
+            ["histogram", "count", "p50", "p95", "p99", "p999", "max", "mode"],
+            rows, title="latency percentiles (simulated seconds)"))
 
     fs_section = report.get("fs", {})
     if fs_section:
@@ -220,6 +279,11 @@ def _flatten_metrics(bench: dict) -> dict[str, float]:
 def _direction(metric: str) -> int | None:
     """+1 higher-better, -1 lower-better, None unknown (informational)."""
     if metric.startswith("write_cost"):
+        return -1
+    # Server tail-latency metrics (BENCH_server_tail_latency.json writes
+    # e.g. ``latency_p99[c1000/drr/cleaner]``): simulated-time latencies
+    # are deterministic per seed, so gating them is noise-free.
+    if metric.startswith("latency_"):
         return -1
     return METRIC_DIRECTIONS.get(metric)
 

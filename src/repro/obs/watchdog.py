@@ -26,7 +26,10 @@ the invariant and carrying the offending event):
   traffic again;
 - **cleaned-u-matches-mirror** — the utilization a ``clean.segment``
   event reports for a non-empty victim equals the mirror's view of that
-  segment at that instant.
+  segment at that instant;
+- **tenant-within-total** — seconds charged inside tenant scopes never
+  exceed the total attributed seconds (the tenant matrix is a
+  decomposition of a *subset* of busy time, never an over-count).
 """
 
 from __future__ import annotations
@@ -148,6 +151,14 @@ class Watchdog:
                 "busy-le-elapsed",
                 f"busy_time {busy:.9f}s exceeds elapsed simulated time "
                 f"{event.time:.9f}s",
+                event,
+            )
+        tenant_total = self._obs.attribution.tenant_total
+        if tenant_total > attributed + self.tolerance:
+            raise InvariantViolation(
+                "tenant-within-total",
+                f"tenant-attributed seconds {tenant_total:.9f}s exceed total "
+                f"attributed seconds {attributed:.9f}s",
                 event,
             )
 

@@ -1,0 +1,45 @@
+"""Multi-tenant file server front-end: event loop, tenants, policies.
+
+The package turns the synchronous LFS core into a served system: an
+event-loop scheduler interleaves client requests, cleaner passes, and
+checkpoints in simulated time; a tenant registry maps clients to
+namespace prefixes; pluggable admission policies (FIFO, deficit
+round-robin) order service; and latency histograms + per-tenant busy
+time attribution measure who paid for the cleaner.
+
+Entry point: :func:`repro.server.frontend.run_server`, or the
+``repro serve`` CLI.
+"""
+
+from repro.server.clients import Client, LoadGenerator, Request, WorkloadConfig
+from repro.server.frontend import FileServer, ServerConfig, ServerResult, run_server
+from repro.server.loop import EventLoop, ScheduledEvent
+from repro.server.policies import (
+    DEFAULT_QUANTUM,
+    DRRQueue,
+    FIFOQueue,
+    POLICIES,
+    make_policy,
+)
+from repro.server.tenants import Tenant, TenantRegistry, TenantStats
+
+__all__ = [
+    "Client",
+    "DEFAULT_QUANTUM",
+    "DRRQueue",
+    "EventLoop",
+    "FIFOQueue",
+    "FileServer",
+    "LoadGenerator",
+    "POLICIES",
+    "Request",
+    "ScheduledEvent",
+    "ServerConfig",
+    "ServerResult",
+    "Tenant",
+    "TenantRegistry",
+    "TenantStats",
+    "WorkloadConfig",
+    "make_policy",
+    "run_server",
+]

@@ -1,0 +1,155 @@
+"""The event-loop kernel: simulated-time events over a synchronous core.
+
+The 1991 system serves one synchronous caller; its successors serve
+thousands. The bridge is this scheduler: client arrivals, request
+dispatches, cleaner passes, and checkpoints become *timestamped events*
+on one priority queue, interleaved by simulated time instead of by
+nested Python calls.
+
+The model is a single-server queue over the file system. The underlying
+``LFS`` is synchronous — a dispatched operation runs to completion and
+advances the shared :class:`~repro.disk.timing.SimClock` by however much
+disk and CPU time it consumed. The loop therefore distinguishes an
+event's *scheduled* time from its *fire* time: the heap pops events in
+(time, seq) order, but if a long operation (say, a cleaner pass the
+event loop scheduled, or an emergency clean inside a tenant's write)
+pushed the clock past an event's timestamp, the event fires late, at the
+current clock reading. That lateness *is* queueing delay — it is
+exactly how the cleaner's busy time turns into other tenants' tail
+latency, and it falls out of the clock coupling rather than being
+modeled separately.
+
+Determinism contract: given the same initial schedule and the same
+callbacks, the execution order is a pure function of (time, seq) — seq
+is the insertion counter, so simultaneous events fire in the order they
+were scheduled, with no dependence on hash ordering, wall clock, or
+thread timing. :attr:`EventLoop.digest` folds every fired event into a
+SHA-256 running hash, so two runs interleaved identically are provable
+by comparing one hex string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import Callable
+
+from repro.disk.timing import SimClock
+
+
+class ScheduledEvent:
+    """One pending event: fire ``callback(loop)`` at simulated ``time``.
+
+    Comparison is (time, seq) so the heap is deterministic; ``cancelled``
+    events stay in the heap but are skipped when popped (cheap lazy
+    cancellation, same trick as the cleaner's lazy-invalidation heap).
+    """
+
+    __slots__ = ("time", "seq", "kind", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, kind: str, callback: Callable) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent({self.kind!r} @ {self.time:.6f} seq={self.seq}{state})"
+
+
+class EventLoop:
+    """A deterministic simulated-time event scheduler."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self.events_fired = 0
+        #: running hash over (seq, kind, fire time) of every fired event
+        self._digest = hashlib.sha256()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def at(self, when: float, kind: str, callback: Callable) -> ScheduledEvent:
+        """Schedule ``callback(loop)`` at absolute simulated time ``when``.
+
+        Scheduling into the past is allowed (the event fires as soon as
+        the loop reaches it, at the current clock reading) — arrivals
+        generated while a long operation held the clock do exactly this.
+        """
+        event = ScheduledEvent(when, self._seq, kind, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, kind: str, callback: Callable) -> ScheduledEvent:
+        """Schedule ``callback(loop)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.at(self.clock.now + delay, kind, callback)
+
+    def __len__(self) -> int:
+        """Pending (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> int:
+        """Fire events in (time, seq) order until the heap drains.
+
+        ``until`` stops before firing any event scheduled strictly after
+        that simulated time; ``max_events`` bounds the number fired.
+        Returns the number of events fired by this call. Re-entrant
+        ``run`` is a bug (an event callback must schedule, not run) and
+        raises immediately.
+        """
+        if self._running:
+            raise RuntimeError("EventLoop.run is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                # Fire time: an event never runs before its scheduled
+                # time, but a long synchronous operation may already have
+                # pushed the clock past it — then it fires late, and the
+                # lateness is the queueing delay the latency histograms
+                # measure.
+                self.clock.advance_to(event.time)
+                self.events_fired += 1
+                fired += 1
+                self._digest.update(
+                    f"{event.seq}:{event.kind}:{self.clock.now!r}".encode()
+                )
+                event.callback(self)
+        finally:
+            self._running = False
+        return fired
+
+    @property
+    def digest(self) -> str:
+        """Hex digest of the execution so far (order + kinds + times)."""
+        return self._digest.hexdigest()[:16]

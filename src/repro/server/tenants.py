@@ -1,0 +1,143 @@
+"""Tenant namespaces and per-tenant service accounting.
+
+A tenant is a named slice of the shared file system: tenant ``t3`` owns
+everything under ``/t3``, and every request a client submits is resolved
+against its tenant's prefix — clients cannot name paths outside their
+namespace (LogBase's cloud-store shape: one log, many isolated users).
+
+The registry also owns the per-tenant accounting the fairness policies
+and reports read: submitted/completed counts, bytes moved, service and
+wait time, instantaneous and high-water queue depth, and a per-tenant
+:class:`~repro.obs.histogram.LatencyHistogram`. The counters live in a
+plain dataclass so :func:`repro.obs.registry.scrape` picks them up like
+every other stats struct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidOperationError
+from repro.obs.histogram import LatencyHistogram
+
+
+@dataclass
+class TenantStats:
+    """Service accounting for one tenant (scrape-compatible counters)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: simulated seconds requests spent being serviced (clock delta)
+    service_seconds: float = 0.0
+    #: simulated seconds requests spent queued before dispatch
+    wait_seconds: float = 0.0
+    queue_depth: int = 0
+    queue_depth_max: int = 0
+
+
+class Tenant:
+    """One tenant: an id, a namespace prefix, a weight, and accounting."""
+
+    __slots__ = ("tid", "prefix", "weight", "stats", "latency")
+
+    def __init__(self, tid: str, *, weight: float = 1.0,
+                 exact_limit: int | None = None) -> None:
+        if "/" in tid or not tid:
+            raise InvalidOperationError(f"bad tenant id {tid!r}")
+        if weight <= 0:
+            raise InvalidOperationError(f"tenant weight must be positive, got {weight}")
+        self.tid = tid
+        self.prefix = f"/{tid}"
+        self.weight = weight
+        self.stats = TenantStats()
+        self.latency = (
+            LatencyHistogram() if exact_limit is None
+            else LatencyHistogram(exact_limit=exact_limit)
+        )
+
+    def path(self, relative: str) -> str:
+        """Resolve a tenant-relative path inside this namespace."""
+        if not relative.startswith("/"):
+            relative = "/" + relative
+        return self.prefix + relative
+
+    def __repr__(self) -> str:
+        return f"Tenant({self.tid!r}, weight={self.weight})"
+
+
+class TenantRegistry:
+    """Ordered mapping of tenant id -> :class:`Tenant`."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, Tenant] = {}
+
+    def add(self, tid: str, *, weight: float = 1.0,
+            exact_limit: int | None = None) -> Tenant:
+        if tid in self._tenants:
+            raise InvalidOperationError(f"tenant {tid!r} already registered")
+        tenant = self._tenants[tid] = Tenant(
+            tid, weight=weight, exact_limit=exact_limit
+        )
+        return tenant
+
+    def get(self, tid: str) -> Tenant:
+        try:
+            return self._tenants[tid]
+        except KeyError:
+            raise InvalidOperationError(f"unknown tenant {tid!r}") from None
+
+    def tenants(self) -> list[Tenant]:
+        """All tenants, in registration order (deterministic)."""
+        return list(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, tid: str) -> bool:
+        return tid in self._tenants
+
+    # ------------------------------------------------------------------
+    # registry/report views
+
+    def counters(self) -> "TenantCounters":
+        """A scrape-compatible aggregate for the metrics registry."""
+        return TenantCounters(
+            submitted={t.tid: t.stats.submitted for t in self.tenants()},
+            completed={t.tid: t.stats.completed for t in self.tenants()},
+            bytes_read={t.tid: t.stats.bytes_read for t in self.tenants()},
+            bytes_written={t.tid: t.stats.bytes_written for t in self.tenants()},
+            queue_depth_max={t.tid: t.stats.queue_depth_max for t in self.tenants()},
+        )
+
+    def summary(self) -> dict:
+        """JSON-serializable per-tenant stats + latency percentiles."""
+        out: dict = {}
+        for tenant in self.tenants():
+            s = tenant.stats
+            out[tenant.tid] = {
+                "weight": tenant.weight,
+                "submitted": s.submitted,
+                "completed": s.completed,
+                "failed": s.failed,
+                "bytes_read": s.bytes_read,
+                "bytes_written": s.bytes_written,
+                "service_seconds": s.service_seconds,
+                "wait_seconds": s.wait_seconds,
+                "queue_depth_max": s.queue_depth_max,
+                "latency": tenant.latency.percentiles(),
+            }
+        return out
+
+
+@dataclass
+class TenantCounters:
+    """Per-tenant counter dicts in the registry's scrape shape."""
+
+    submitted: dict[str, int] = field(default_factory=dict)
+    completed: dict[str, int] = field(default_factory=dict)
+    bytes_read: dict[str, int] = field(default_factory=dict)
+    bytes_written: dict[str, int] = field(default_factory=dict)
+    queue_depth_max: dict[str, int] = field(default_factory=dict)

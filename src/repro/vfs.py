@@ -120,7 +120,11 @@ class FileHandle:
             self._fs.sync()
 
     def close(self) -> None:
-        """Invalidate the handle (idempotent)."""
+        """Invalidate the handle; closing twice is a usage bug."""
+        if self._closed:
+            raise InvalidOperationError(
+                f"handle for {self.path!r} is already closed"
+            )
         self._closed = True
         self._vfs._handles.discard(self)
 
@@ -128,7 +132,8 @@ class FileHandle:
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        if not self._closed:
+            self.close()
 
     def __iter__(self):
         """Iterate lines, like a Python file object."""
@@ -159,9 +164,10 @@ class FileSystemView:
         return handle
 
     def close_all(self) -> None:
-        """Close every handle this view produced."""
+        """Close every still-open handle this view produced."""
         for handle in list(self._handles):
-            handle.close()
+            if not handle.closed:
+                handle.close()
 
     # convenience passthroughs ------------------------------------------------
 

@@ -1,0 +1,172 @@
+"""Unit tests for the exact-then-bucketed latency histogram."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs import LatencyHistogram
+
+
+class TestExactRegime:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert len(h) == 0
+        assert h.quantile(0.5) == 0.0
+        pct = h.percentiles()
+        assert pct["count"] == 0
+        assert pct["min"] == 0.0 and pct["max"] == 0.0
+        assert pct["exact"] is True
+
+    def test_single_sample_all_quantiles(self):
+        h = LatencyHistogram()
+        h.record(0.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.25
+
+    def test_nearest_rank_exact(self):
+        h = LatencyHistogram()
+        for v in range(1, 101):  # 0.01 .. 1.00
+            h.record(v / 100.0)
+        assert h.quantile(0.50) == pytest.approx(0.50)
+        assert h.quantile(0.99) == pytest.approx(0.99)
+        assert h.quantile(1.00) == pytest.approx(1.00)
+        assert h.quantile(0.001) == pytest.approx(0.01)
+
+    def test_mean_min_max(self):
+        h = LatencyHistogram()
+        for v in (0.1, 0.2, 0.3):
+            h.record(v)
+        assert h.mean == pytest.approx(0.2)
+        assert h.min == pytest.approx(0.1)
+        assert h.max == pytest.approx(0.3)
+
+    def test_negative_rejected(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.record(-0.001)
+
+    def test_bad_quantile_rejected(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestBucketedRegime:
+    def test_spills_past_exact_limit(self):
+        h = LatencyHistogram(exact_limit=10)
+        for i in range(10):
+            h.record(0.001 * (i + 1))
+        assert h.exact
+        h.record(0.5)
+        assert not h.exact
+        assert h.count == 11
+
+    def test_bucketed_quantile_bounded_error(self):
+        h = LatencyHistogram(exact_limit=0)
+        rng = random.Random(7)
+        values = [rng.uniform(0.0001, 2.0) for _ in range(5000)]
+        for v in values:
+            h.record(v)
+        exact_p99 = sorted(values)[int(0.99 * 5000) - 1]
+        approx = h.quantile(0.99)
+        # conservative: never understates by more than one bucket width
+        assert approx >= exact_p99 * 0.999
+        assert approx <= exact_p99 * h.growth * 1.001
+
+    def test_quantile_never_exceeds_max(self):
+        h = LatencyHistogram(exact_limit=0)
+        for v in (0.5, 0.5, 0.5):
+            h.record(v)
+        assert h.quantile(0.999) == pytest.approx(0.5)
+
+    def test_tiny_values_land_in_bucket_zero(self):
+        h = LatencyHistogram(exact_limit=0)
+        h.record(0.0)
+        h.record(1e-9)
+        assert h.quantile(0.99) <= h.base
+
+
+class TestMerge:
+    def test_exact_plus_exact_stays_exact(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (0.1, 0.2):
+            a.record(v)
+        for v in (0.3, 0.4):
+            b.record(v)
+        a.merge(b)
+        assert a.exact
+        assert a.count == 4
+        assert a.quantile(1.0) == pytest.approx(0.4)
+
+    def test_merge_spills_when_combined_exceeds_limit(self):
+        a = LatencyHistogram(exact_limit=3)
+        b = LatencyHistogram(exact_limit=3)
+        for v in (0.1, 0.2):
+            a.record(v)
+        for v in (0.3, 0.4):
+            b.record(v)
+        a.merge(b)
+        assert not a.exact
+        assert a.count == 4
+
+    def test_merge_matches_single_stream(self):
+        """Sharded recording then merge == one histogram fed everything."""
+        rng = random.Random(42)
+        values = [rng.uniform(1e-4, 1.0) for _ in range(2000)]
+        whole = LatencyHistogram(exact_limit=100)
+        shards = [LatencyHistogram(exact_limit=100) for _ in range(4)]
+        for i, v in enumerate(values):
+            whole.record(v)
+            shards[i % 4].record(v)
+        merged = shards[0]
+        for s in shards[1:]:
+            merged.merge(s)
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        for q in (0.5, 0.95, 0.99, 0.999):
+            assert merged.quantile(q) == pytest.approx(whole.quantile(q))
+
+    def test_incompatible_geometry_rejected(self):
+        a = LatencyHistogram(base=1e-5)
+        b = LatencyHistogram(base=1e-4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_empty_is_noop(self):
+        a = LatencyHistogram()
+        a.record(0.5)
+        a.merge(LatencyHistogram())
+        assert a.count == 1
+        assert a.quantile(0.5) == pytest.approx(0.5)
+
+
+class TestSerialization:
+    def test_exact_round_trip(self):
+        h = LatencyHistogram()
+        for v in (0.1, 0.01, 0.5):
+            h.record(v)
+        back = LatencyHistogram.from_dict(json.loads(json.dumps(h.to_dict())))
+        assert back.percentiles() == h.percentiles()
+
+    def test_bucketed_round_trip(self):
+        h = LatencyHistogram(exact_limit=2)
+        for i in range(50):
+            h.record(0.001 * (i + 1))
+        back = LatencyHistogram.from_dict(json.loads(json.dumps(h.to_dict())))
+        assert not back.exact
+        assert back.percentiles() == h.percentiles()
+
+    def test_to_dict_deterministic(self):
+        def build():
+            h = LatencyHistogram(exact_limit=4)
+            for v in (0.3, 0.1, 0.7, 0.2, 0.9, 0.4):
+                h.record(v)
+            return json.dumps(h.to_dict(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_empty_round_trip(self):
+        back = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert back.count == 0
+        assert back.quantile(0.99) == 0.0

@@ -1,0 +1,347 @@
+"""Tests for the multi-tenant server: loop, policies, tenants, determinism."""
+
+import pytest
+
+from repro.core.errors import InvalidOperationError
+from repro.disk.timing import SimClock
+from repro.obs import Observation, build_report, render_report
+from repro.server import (
+    DRRQueue,
+    EventLoop,
+    FIFOQueue,
+    Request,
+    ServerConfig,
+    TenantRegistry,
+    WorkloadConfig,
+    make_policy,
+    run_server,
+)
+from repro.simulator.sweep import parallel_map
+
+
+# ----------------------------------------------------------------------
+# event loop
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.at(2.0, "b", lambda lp: fired.append("b"))
+        loop.at(1.0, "a", lambda lp: fired.append("a"))
+        loop.at(3.0, "c", lambda lp: fired.append("c"))
+        assert loop.run() == 3
+        assert fired == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abcd":
+            loop.at(1.0, name, lambda lp, n=name: fired.append(n))
+        loop.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_cancelled_events_skipped(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.at(1.0, "a", lambda lp: fired.append("a"))
+        loop.at(2.0, "b", lambda lp: fired.append("b"))
+        event.cancel()
+        assert len(loop) == 1
+        loop.run()
+        assert fired == ["b"]
+
+    def test_late_event_fires_at_current_clock(self):
+        """A long synchronous op pushes the clock past a pending event;
+        the event then fires late — that lateness is queueing delay."""
+        clock = SimClock()
+        loop = EventLoop(clock)
+        seen = []
+        loop.at(0.0, "long", lambda lp: clock.advance(5.0))
+        loop.at(1.0, "late", lambda lp: seen.append(lp.now))
+        loop.run()
+        assert seen == [5.0]
+
+    def test_callback_can_schedule_more(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(lp, n=3):
+            fired.append(n)
+            if n > 1:
+                lp.after(1.0, "chain", lambda lp2: chain(lp2, n - 1))
+
+        loop.at(0.0, "chain", chain)
+        loop.run()
+        assert fired == [3, 2, 1]
+
+    def test_run_until_and_max_events(self):
+        loop = EventLoop()
+        for t in range(5):
+            loop.at(float(t), "tick", lambda lp: None)
+        assert loop.run(until=2.0) == 3
+        assert loop.run(max_events=1) == 1
+        assert loop.run() == 1
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.after(-0.5, "x", lambda lp: None)
+
+    def test_reentrant_run_rejected(self):
+        loop = EventLoop()
+
+        def reenter(lp):
+            with pytest.raises(RuntimeError):
+                lp.run()
+
+        loop.at(0.0, "re", reenter)
+        loop.run()
+
+    def test_digest_reflects_order(self):
+        def build(order):
+            loop = EventLoop()
+            for t, kind in order:
+                loop.at(t, kind, lambda lp: None)
+            loop.run()
+            return loop.digest
+
+        same = [(1.0, "a"), (2.0, "b")]
+        assert build(same) == build(same)
+        assert build(same) != build([(2.0, "a"), (1.0, "b")])
+
+
+# ----------------------------------------------------------------------
+# policies
+
+
+def req(tenant: str, size: int = 1024, client: int = 0) -> Request:
+    return Request(client=client, tenant=tenant, op="write", path="/f", size=size)
+
+
+class TestFIFO:
+    def test_global_arrival_order(self):
+        q = FIFOQueue()
+        for i, t in enumerate(("a", "b", "a")):
+            q.push(req(t, client=i))
+        assert [q.pop().client for _ in range(3)] == [0, 1, 2]
+        assert q.pop() is None
+
+    def test_depth_per_tenant(self):
+        q = FIFOQueue()
+        q.push(req("a"))
+        q.push(req("a"))
+        q.push(req("b"))
+        assert q.depth("a") == 2 and q.depth("b") == 1 and len(q) == 3
+
+
+class TestDRR:
+    def test_round_robin_interleaves_burst(self):
+        """A 6-request burst from one tenant must not head-of-line block
+        a single request from another."""
+        q = DRRQueue(quantum=1.0)
+        for i in range(6):
+            q.push(req("heavy", client=i))
+        q.push(req("light", client=99))
+        order = [q.pop().tenant for _ in range(7)]
+        assert order.index("light") <= 1
+
+    def test_costs_throttle_large_requests(self):
+        """One 8 KB request costs as much rotation credit as eight 1 KB
+        requests — byte fairness, not request fairness."""
+        q = DRRQueue(quantum=8.0)
+        for i in range(2):
+            q.push(req("big", size=8192, client=i))
+        for i in range(8):
+            q.push(req("small", size=1024, client=10 + i))
+        order = [q.pop().tenant for _ in range(10)]
+        # after big's first 8 KB request, small gets a full 8-request turn
+        assert order[1:9].count("small") >= 7
+
+    def test_weights_scale_share(self):
+        q = DRRQueue(quantum=1.0, weights={"vip": 4.0})
+        for i in range(8):
+            q.push(req("vip", client=i))
+            q.push(req("std", client=100 + i))
+        first8 = [q.pop().tenant for _ in range(8)]
+        assert first8.count("vip") > first8.count("std")
+
+    def test_deficit_not_banked_while_idle(self):
+        q = DRRQueue(quantum=1.0)
+        q.push(req("a"))
+        assert q.pop().tenant == "a"
+        assert len(q) == 0
+        # rejoining must start from zero deficit, not accumulated credit
+        q.push(req("a", size=4096))
+        q.push(req("b"))
+        popped = [q.pop().tenant for _ in range(2)]
+        assert set(popped) == {"a", "b"}
+
+    def test_oversized_request_eventually_served(self):
+        q = DRRQueue(quantum=1.0)
+        q.push(req("a", size=64 * 1024))
+        assert q.pop().tenant == "a"
+
+    def test_make_policy(self):
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("drr").name == "drr"
+        with pytest.raises(InvalidOperationError):
+            make_policy("lottery")
+        with pytest.raises(InvalidOperationError):
+            DRRQueue(quantum=0.0)
+
+
+# ----------------------------------------------------------------------
+# tenants
+
+
+class TestTenants:
+    def test_namespace_resolution(self):
+        reg = TenantRegistry()
+        t = reg.add("t0")
+        assert t.path("/c1/f0") == "/t0/c1/f0"
+        assert t.path("c1/f0") == "/t0/c1/f0"
+
+    def test_duplicate_and_unknown_rejected(self):
+        reg = TenantRegistry()
+        reg.add("t0")
+        with pytest.raises(InvalidOperationError):
+            reg.add("t0")
+        with pytest.raises(InvalidOperationError):
+            reg.get("nope")
+
+    def test_bad_ids_and_weights_rejected(self):
+        reg = TenantRegistry()
+        with pytest.raises(InvalidOperationError):
+            reg.add("a/b")
+        with pytest.raises(InvalidOperationError):
+            reg.add("x", weight=0.0)
+
+    def test_registration_order_stable(self):
+        reg = TenantRegistry()
+        for tid in ("z", "a", "m"):
+            reg.add(tid)
+        assert [t.tid for t in reg.tenants()] == ["z", "a", "m"]
+
+
+# ----------------------------------------------------------------------
+# workload generation
+
+
+class TestWorkload:
+    def test_heavy_fraction_maps_extra_clients_to_t0(self):
+        cfg = WorkloadConfig(clients=100, tenants=4, heavy_fraction=0.4)
+        owners = [cfg.tenant_of(c) for c in range(100)]
+        assert all(o == 0 for o in owners[:40])
+        assert {owners[i] for i in range(40, 100)} == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(clients=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(clients=2, tenants=3)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mode="batch")
+        with pytest.raises(ValueError):
+            WorkloadConfig(heavy_fraction=1.0)
+
+
+# ----------------------------------------------------------------------
+# the served system
+
+
+def small_server(**overrides) -> ServerConfig:
+    workload = WorkloadConfig(
+        clients=overrides.pop("clients", 40),
+        tenants=overrides.pop("tenants", 4),
+        ops_per_client=overrides.pop("ops_per_client", 4),
+        seed=overrides.pop("seed", 7),
+        **{k: overrides.pop(k) for k in list(overrides)
+           if k in ("mode", "heavy_fraction", "think_seconds")},
+    )
+    return ServerConfig(workload=workload, **overrides)
+
+
+def _digests(policy: str, seed: int) -> tuple[str, str]:
+    """Module-level so parallel_map can pickle it into worker processes."""
+    result = run_server(small_server(policy=policy, seed=seed))
+    return result.digest, result.latency_digest
+
+
+class TestFileServer:
+    def test_all_requests_complete(self):
+        result = run_server(small_server())
+        assert result.failed == 0
+        assert result.requests == 40 * (2 + 4)
+        assert result.latency["server"]["count"] == result.requests
+        assert result.latency["server"]["p50"] > 0
+
+    def test_files_land_in_tenant_namespaces(self):
+        obs = Observation(ring_capacity=None)
+        run_server(small_server(), obs=obs)
+        fs = obs._fs
+        # client c belongs to tenant c % 4; its working set lives under
+        # the tenant prefix and nowhere else
+        assert fs.exists("/t1/c1/f0")
+        assert fs.exists("/t2/c6/f1")
+        assert not fs.exists("/c1")
+        assert sorted(fs.readdir("/")) == ["t0", "t1", "t2", "t3"]
+        # completion events carry the owning tenant
+        done = [e for e in obs.tracer.events() if e.kind == "server.done"]
+        assert {e.fields["tenant"] for e in done} == {"t0", "t1", "t2", "t3"}
+
+    def test_per_tenant_latency_recorded(self):
+        result = run_server(small_server())
+        for tid in ("t0", "t1", "t2", "t3"):
+            assert result.latency[tid]["count"] == 10 * 6
+
+    def test_watchdog_clean(self):
+        result = run_server(small_server(), watchdog=True)
+        assert result.failed == 0
+        assert result.watchdog_violations == 0
+
+    def test_open_loop_mode(self):
+        result = run_server(small_server(mode="open"))
+        assert result.failed == 0
+        assert result.requests == 40 * 6
+
+    def test_same_seed_same_digests(self):
+        a = run_server(small_server(policy="drr"))
+        b = run_server(small_server(policy="drr"))
+        assert a.digest == b.digest
+        assert a.latency_digest == b.latency_digest
+        assert a.latency == b.latency
+
+    def test_different_seed_different_digests(self):
+        a = run_server(small_server(seed=7))
+        b = run_server(small_server(seed=8))
+        assert a.digest != b.digest
+
+    def test_policy_changes_event_order(self):
+        fifo = run_server(small_server(policy="fifo", heavy_fraction=0.4))
+        drr = run_server(small_server(policy="drr", heavy_fraction=0.4))
+        assert fifo.digest != drr.digest
+        assert fifo.requests == drr.requests
+
+    def test_digests_invariant_across_workers(self):
+        """The acceptance gate: identical digests at any --workers."""
+        jobs = [("fifo", 7), ("drr", 7)]
+        serial = parallel_map(_digests, jobs, workers=1)
+        pooled = parallel_map(_digests, jobs, workers=2)
+        assert serial == pooled
+
+    def test_system_tenant_charged_for_background_work(self):
+        result = run_server(small_server())
+        assert "@system" in result.tenant_attribution
+
+    def test_report_integration(self):
+        obs = Observation(ring_capacity=4096)
+        run_server(small_server(), obs=obs)
+        report = build_report(obs, name="serve")
+        assert "server" in report["latency"]
+        assert report["latency"]["server"]["count"] == 240
+        assert "tenants" in report["attribution"]
+        text = render_report(report)
+        assert "latency percentiles" in text
+        assert "per-tenant busy-time" in text

@@ -129,10 +129,11 @@ class TestHandleLifecycle:
         with pytest.raises(InvalidOperationError):
             fh.write(b"x")
 
-    def test_close_idempotent(self, vfs):
+    def test_double_close_raises(self, vfs):
         fh = vfs.open("/f", "w")
         fh.close()
-        fh.close()
+        with pytest.raises(InvalidOperationError):
+            fh.close()
 
     def test_close_all(self, vfs):
         handles = [vfs.open(f"/h{i}", "w") for i in range(3)]

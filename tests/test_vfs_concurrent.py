@@ -1,0 +1,141 @@
+"""VFS hardening: concurrent handles, close discipline, sparse writes.
+
+The server front-end keeps many handles alive against the same
+namespace, so the handle layer must behave like a real kernel's file
+table: two handles on one path see each other's writes, double-close is
+a caught bug rather than a silent no-op, and writing past EOF zero-fills
+the hole.
+"""
+
+import pytest
+
+from repro.core.errors import InvalidOperationError
+from repro.core.filesystem import LFS
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.vfs import FileSystemView
+
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def vfs():
+    disk = Disk(DiskGeometry.wren4(num_blocks=4096))
+    return FileSystemView(LFS.format(disk, small_config()))
+
+
+class TestConcurrentHandles:
+    def test_two_handles_same_path_see_writes(self, vfs):
+        with vfs.open("/f", "w") as fh:
+            fh.write(b"0123456789")
+        writer = vfs.open("/f", "r+")
+        reader = vfs.open("/f", "r")
+        writer.write(b"XXXX")
+        assert reader.read() == b"XXXX456789"
+        writer.close()
+        reader.close()
+
+    def test_reader_sees_append_growth(self, vfs):
+        with vfs.open("/f", "w") as fh:
+            fh.write(b"base")
+        reader = vfs.open("/f", "r")
+        appender = vfs.open("/f", "a")
+        assert reader.read() == b"base"
+        appender.write(b"+more")
+        # the reader's cursor sits at the old EOF; new bytes are visible
+        assert reader.read() == b"+more"
+        reader.close()
+        appender.close()
+
+    def test_size_coherent_across_handles(self, vfs):
+        a = vfs.open("/f", "w")
+        b = vfs.open("/f", "a")
+        a.write(b"x" * 100)
+        b.write(b"y")  # append mode re-seeks to live EOF
+        a.close()
+        b.close()
+        with vfs.open("/f") as fh:
+            data = fh.read()
+        assert len(data) == 101
+        assert data == b"x" * 100 + b"y"
+
+    def test_interleaved_writers_last_wins_per_byte(self, vfs):
+        with vfs.open("/f", "w") as fh:
+            fh.write(b"." * 8)
+        h1 = vfs.open("/f", "r+")
+        h2 = vfs.open("/f", "r+")
+        h1.write(b"AAAA")
+        h2.seek(2)
+        h2.write(b"BB")
+        h1.close()
+        h2.close()
+        with vfs.open("/f") as fh:
+            assert fh.read() == b"AABB...."
+
+    def test_close_one_handle_leaves_other_usable(self, vfs):
+        a = vfs.open("/f", "w")
+        b = vfs.open("/f", "a")
+        a.close()
+        assert b.write(b"still open") == 10
+        b.close()
+
+
+class TestCloseDiscipline:
+    def test_double_close_raises(self, vfs):
+        fh = vfs.open("/f", "w")
+        fh.close()
+        with pytest.raises(InvalidOperationError):
+            fh.close()
+
+    def test_context_manager_then_close_raises(self, vfs):
+        with vfs.open("/f", "w") as fh:
+            fh.write(b"x")
+        with pytest.raises(InvalidOperationError):
+            fh.close()
+
+    def test_explicit_close_inside_with_block_ok(self, vfs):
+        # __exit__ must not double-close a handle the body already closed
+        with vfs.open("/f", "w") as fh:
+            fh.write(b"x")
+            fh.close()
+        assert fh.closed
+
+    def test_close_all_skips_closed_handles(self, vfs):
+        handles = [vfs.open(f"/h{i}", "w") for i in range(3)]
+        handles[1].close()
+        vfs.close_all()  # must not raise on the already-closed handle
+        assert all(h.closed for h in handles)
+
+
+class TestSparseWrites:
+    def test_seek_past_eof_write_zero_fills(self, vfs):
+        with vfs.open("/f", "w") as fh:
+            fh.write(b"head")
+            fh.seek(100)
+            fh.write(b"tail")
+        with vfs.open("/f") as fh:
+            data = fh.read()
+        assert len(data) == 104
+        assert data[:4] == b"head"
+        assert data[4:100] == bytes(96)
+        assert data[100:] == b"tail"
+
+    def test_hole_spanning_whole_blocks_reads_zero(self, vfs):
+        bs = vfs.fs.config.block_size
+        with vfs.open("/f", "w") as fh:
+            fh.seek(3 * bs + 7)
+            fh.write(b"z")
+        with vfs.open("/f") as fh:
+            data = fh.read()
+        assert len(data) == 3 * bs + 8
+        assert data[: 3 * bs + 7] == bytes(3 * bs + 7)
+        assert data[-1:] == b"z"
+
+    def test_sparse_file_survives_sync(self, vfs):
+        with vfs.open("/f", "w") as fh:
+            fh.seek(5000)
+            fh.write(b"end")
+        vfs.fs.sync()
+        with vfs.open("/f") as fh:
+            data = fh.read()
+        assert data == bytes(5000) + b"end"
