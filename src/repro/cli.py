@@ -30,7 +30,7 @@ from repro.core.config import LFSConfig
 from repro.core.errors import CorruptionError
 from repro.core.filesystem import LFS
 from repro.disk.device import Disk
-from repro.disk.geometry import DiskGeometry
+from repro.disk.geometry import DiskGeometry, FlashGeometry
 from repro.disk.image import load_disk, save_disk
 from repro.simulator.model import SimConfig
 from repro.simulator.policies import GroupingPolicy, SelectionPolicy
@@ -482,12 +482,22 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.workload == "smallfile":
         from repro.workloads.smallfile import run_smallfile
 
-        geo = DiskGeometry.wren4(block_size=1024, num_blocks=65536)
+        if args.flash:
+            geo: DiskGeometry = FlashGeometry.nand(block_size=1024, num_blocks=65536)
+        else:
+            geo = DiskGeometry.wren4(block_size=1024, num_blocks=65536)
         run_smallfile("lfs", num_files=args.files, geometry=geo, obs=obs)
     else:  # largefile
         from repro.workloads.largefile import run_largefile
 
-        run_largefile("lfs", file_size=args.file_mb * 1024 * 1024, obs=obs)
+        flash_geo = (
+            FlashGeometry.nand(block_size=4096, num_blocks=81920)
+            if args.flash
+            else None
+        )
+        run_largefile(
+            "lfs", file_size=args.file_mb * 1024 * 1024, geometry=flash_geo, obs=obs
+        )
     fs = obs._fs
 
     report = build_report(obs, fs, ledger, name=args.workload)
@@ -604,6 +614,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
         variants=variants,
         exhaustive=args.exhaustive,
         watchdog=args.watchdog,
+        flash=args.flash,
     )
 
     per_variant: dict[str, dict[str, float]] = {}
@@ -674,6 +685,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
                 "population": result.population,
                 "total_blocks": result.total_blocks,
                 "variants": list(variants),
+                "flash": args.flash,
                 "violations": result.violation_count,
                 "mean_recovery_seconds": round(result.mean_recovery_seconds, 6),
                 "outcome_digest": result.outcome_digest,
@@ -862,6 +874,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default="benchmarks/results", help="record BENCH_<name>.json here (file or directory; '' disables)")
     p.add_argument("--bench-name", default="torture", help="bench name used in the JSON record")
     p.add_argument("--watchdog", action="store_true", help="run every point under the segment ledger + invariant watchdog (raises on any broken invariant; outcomes unchanged otherwise)")
+    p.add_argument("--flash", action="store_true", help="record the workload on the NAND flash profile (erase-aware device, hot/cold segregation, wear leveling) instead of the Wren IV")
     p.set_defaults(func=cmd_torture)
 
     p = sub.add_parser(
@@ -896,6 +909,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--files", type=int, default=2000, help="files for the smallfile workload")
     p.add_argument("--file-mb", type=int, default=4, help="file size (MB) for the largefile workload")
     p.add_argument("--ring", type=int, default=4096, help="ring capacity (0 = unbounded)")
+    p.add_argument("--flash", action="store_true", help="run the workload on the NAND flash profile; the report gains a flash wear/TRIM section")
     p.add_argument("--json-out", default=None, help="also write the report as JSON to this path")
     p.set_defaults(func=cmd_report)
 

@@ -24,6 +24,7 @@ from repro.core.errors import (
     NotADirectoryError_,
     NotMountedError,
     ReadOnlyError,
+    TrimmedBlockError,
 )
 from repro.core.filesystem import LFS, StatResult
 from repro.core.recovery import RecoveryReport
@@ -48,4 +49,5 @@ __all__ = [
     "ReadOnlyError",
     "RecoveryReport",
     "StatResult",
+    "TrimmedBlockError",
 ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.core.blocks import checksum
 from repro.core.config import CleaningPolicy
 from repro.core.constants import BlockKind
-from repro.core.errors import MediaError
+from repro.core.errors import MediaError, TrimmedBlockError
 from repro.core.inode import unpack_inode_block
 from repro.core.summary import try_parse_summary
 from repro.obs.attribution import CLEANING_READ
@@ -93,11 +93,8 @@ class Cleaner:
 
     def _candidates(self) -> list[int]:
         fs = self.fs
-        return [
-            seg
-            for seg in fs.usage.dirty_segments()
-            if seg != fs.writer.current_segment and seg != fs.writer.next_segment
-        ]
+        held = fs.writer.open_segments()
+        return [seg for seg in fs.usage.dirty_segments() if seg not in held]
 
     def _sync_victims(self) -> None:
         """Fold usage-table changes since the last selection into the heap."""
@@ -114,8 +111,7 @@ class Cleaner:
                 self._victims.update(seg, min(rec.live_bytes, cap))
 
     def _writer_excluded(self, seg: int) -> bool:
-        writer = self.fs.writer
-        return seg == writer.current_segment or seg == writer.next_segment
+        return seg in self.fs.writer.open_segments()
 
     def select_segments(self, count: int) -> list[int]:
         """Choose up to ``count`` segments to clean under the active policy.
@@ -164,10 +160,36 @@ class Cleaner:
         return candidates[:count]
 
     def _benefit_cost(self, seg_no: int, now: float) -> float:
-        """The paper's cost-benefit ratio: free space * age / cost."""
+        """The paper's cost-benefit ratio: free space * age / cost.
+
+        With ``wear_leveling`` enabled on a flash disk, the ratio is
+        multiplied by a small deterministic factor favoring segments on
+        *low*-wear erase blocks (cleaning a segment soon re-erases its
+        erase blocks, so preferring cold-wear victims spreads erases).
+        The factor lives here — not in the heap path — so
+        :meth:`select_segments` and :meth:`select_segments_reference`
+        stay bit-identical to each other under every configuration.
+        """
         u = self.fs.usage.utilization(seg_no)
         age = max(0.0, now - self.fs.usage.get(seg_no).last_write)
-        return (1.0 - u) * age / (1.0 + u)
+        score = (1.0 - u) * age / (1.0 + u)
+        if self.fs.config.wear_leveling:
+            score *= self._wear_factor(seg_no)
+        return score
+
+    def _wear_factor(self, seg_no: int) -> float:
+        """Bounded multiplier in [0.9, 1.1]: >1 for low-wear erase blocks."""
+        fs = self.fs
+        fl = fs.disk.flash
+        if fl is None:
+            return 1.0
+        geom = fs.disk.geometry
+        start = fs.layout.segment_start(seg_no)
+        first = geom.erase_block_of(start)
+        last = geom.erase_block_of(start + fs.config.segment_blocks - 1)
+        wear = max(fl.erase_counts[eb] for eb in range(first, last + 1))
+        mean = sum(fl.erase_counts) / len(fl.erase_counts)
+        return 1.0 + 0.1 * (mean - wear) / (mean + 1.0)
 
     # ------------------------------------------------------------------
     # mechanism
@@ -193,6 +215,9 @@ class Cleaner:
                     for seg_no in empties:
                         self.stats.cleaned_utilizations.append(0.0)
                         fs.usage.mark_clean(seg_no)
+                        # TRIM only after a checkpoint persists the death:
+                        # the drain at checkpoint time handles these.
+                        fs._pending_trims.add(seg_no)
                         self.stats.empty_segments_cleaned += 1
                         self.stats.segments_cleaned += 1
                         if obs is not None:
@@ -241,6 +266,8 @@ class Cleaner:
             free += fs.config.segment_blocks - fs.writer.offset
         if fs.writer.next_segment is not None:
             free += fs.config.segment_blocks
+        if fs.writer.cold_segment is not None:
+            free += fs.config.segment_blocks - fs.writer.cold_offset
         return free
 
     @staticmethod
@@ -312,6 +339,12 @@ class Cleaner:
             fs.checkpoint()
             for seg_no in victims:
                 fs.usage.mark_clean(seg_no)
+                # The moved blocks are durable (checkpoint above), but the
+                # clean verdict itself is not yet — defer the TRIM to the
+                # next checkpoint's drain so a crash can never recover a
+                # trimmed segment that the durable usage table still
+                # calls dirty.
+                fs._pending_trims.add(seg_no)
                 self.stats.segments_cleaned += 1
             return len(victims)
 
@@ -332,6 +365,12 @@ class Cleaner:
                 fs.config.selective_read_utilization > 0.0
                 and fs.usage.utilization(seg_no) < fs.config.selective_read_utilization
             )
+            if fs.disk.flash is not None:
+                # On flash there is no seek to amortize, and the unused
+                # tail of a trimmed-then-reused segment is unreadable by
+                # contract — a streamed whole-segment read would trip on
+                # it. Always walk block by block instead.
+                selective = True
             if selective:
                 blocks = None
                 self.stats.selective_segments += 1
@@ -349,7 +388,13 @@ class Cleaner:
             offset = 0
             prev_seq = 0
             while offset < seg_blocks:
-                summary = try_parse_summary(block_at(offset), fs.config.block_size)
+                try:
+                    raw = block_at(offset)
+                except TrimmedBlockError:
+                    # Trimmed and never reprogrammed: nothing was written
+                    # here this epoch, so the segment's log ends.
+                    break
+                summary = try_parse_summary(raw, fs.config.block_size)
                 bad_walk = (
                     summary is None
                     or summary.seq <= prev_seq

@@ -69,6 +69,22 @@ class LFSConfig:
             read path tolerates before the file system degrades to
             read-only mode (writes then fail fast as ``ReadOnlyError``
             instead of risking further damage). 0 disables degradation.
+        hot_cold_segregation: keep a second open segment for cold data
+            and route cleaner-rewritten (survivor, hence cold) blocks
+            into it, so fresh hot writes and old cold data never mix in
+            one segment. Survivor segments stay dense while hot segments
+            decay toward empty, which cuts cleaner migration — the
+            SSDFS argument, and the reason the default flash profile
+            enables it. Cold-segment writes sit outside the roll-forward
+            chain, which is safe precisely because every cleaning flush
+            is followed by a checkpoint before any source segment is
+            reclaimed.
+        wear_leveling: nudge cleaner victim selection toward segments
+            whose underlying erase blocks have the lowest wear, so
+            reclaimed (and therefore soon re-erased) space rotates
+            across the device. Only meaningful on a flash disk; off by
+            default so HDD-profile victim selection stays bit-identical
+            to the reference oracle.
     """
 
     block_size: int = 4096
@@ -87,6 +103,8 @@ class LFSConfig:
     selective_read_utilization: float = 0.0
     battery_backed_buffer: bool = False
     media_error_budget: int = 8
+    hot_cold_segregation: bool = False
+    wear_leveling: bool = False
 
     def __post_init__(self) -> None:
         if self.block_size <= 0 or self.block_size % 512:
@@ -171,13 +189,21 @@ class DiskLayout:
         return seg
 
 
-def compute_layout(config: LFSConfig, num_blocks: int) -> DiskLayout:
+def compute_layout(
+    config: LFSConfig, num_blocks: int, *, align: int = 1
+) -> DiskLayout:
     """Place the superblock, checkpoint regions, and segment area.
 
     The checkpoint region must hold a header block, the addresses of every
     inode-map block and every segment-usage block, and a trailing timestamp
     block (the paper stores the checkpoint time in the *last* block so a
     torn checkpoint write is self-invalidating).
+
+    ``align`` rounds the segment area start up to a multiple of that many
+    blocks. Format passes the device's erase-block size here (real mkfs
+    tools do the same), so on flash whole dead segments map onto whole
+    erase blocks and TRIM can erase ahead of reuse; ``align=1`` (every
+    non-flash device) reproduces the historical layout exactly.
     """
     seg_blocks = config.segment_blocks
     addrs_per_block = config.block_size // 8
@@ -196,6 +222,8 @@ def compute_layout(config: LFSConfig, num_blocks: int) -> DiskLayout:
     checkpoint_a = 1
     checkpoint_b = checkpoint_a + checkpoint_blocks
     segment_area_start = checkpoint_b + checkpoint_blocks
+    if align > 1:
+        segment_area_start = -(-segment_area_start // align) * align
     usable = num_blocks - segment_area_start
     num_segments = usable // seg_blocks
     if num_segments < config.reserved_segments + 4:

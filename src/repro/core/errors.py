@@ -74,6 +74,18 @@ class MediaError(LFSError):
         self.op = op
 
 
+class TrimmedBlockError(MediaError):
+    """A read hit a block that was trimmed and never rewritten.
+
+    Flash honesty contract: once the file system TRIMs a block, its old
+    contents are gone — a later read of that address must fail with this
+    typed error, never return stale bytes. Subclassing
+    :class:`MediaError` lets every degraded-read path (scavenger, scrub,
+    the torture honesty oracle) treat it as a detected loss rather than
+    silent corruption.
+    """
+
+
 class ReadOnlyError(LFSError):
     """The file system degraded to read-only mode (media error budget hit)."""
 
@@ -92,5 +104,6 @@ __all__ = [
     "DirectoryNotEmptyError",
     "InvalidOperationError",
     "MediaError",
+    "TrimmedBlockError",
     "ReadOnlyError",
 ]

@@ -44,7 +44,7 @@ from repro.core.segments import LogItem, LogWriter
 from repro.core.superblock import Superblock
 from repro.disk.device import Disk
 from repro.obs.attribution import CHECKPOINT, CLEANING_WRITE, DATA_WRITE
-from repro.obs.events import CACHE_FLUSH
+from repro.obs.events import CACHE_FLUSH, FLASH_TRIM
 
 # Shared no-op context for the untraced path: one instance, no allocation
 # per flush when observability is off.
@@ -139,6 +139,10 @@ class LFS:
         self._in_cleaner = False
         self._clean_retry_at = 0
         self._last_checkpoint_log_blocks = 0
+        # Dead segments whose TRIM must wait for the next checkpoint:
+        # trimming before the usage table's clean verdict is durable
+        # could leave recovery reading a trimmed (unreadable) block.
+        self._pending_trims: set[int] = set()
         # Sick-disk degradation state: unrecoverable errors seen on the
         # read path; crossing the configured budget flips ``read_only``.
         self.read_only = False
@@ -169,7 +173,8 @@ class LFS:
                 f"config block size {config.block_size} != disk block size "
                 f"{disk.geometry.block_size}"
             )
-        layout = compute_layout(config, disk.geometry.num_blocks)
+        align = getattr(disk.geometry, "erase_block_blocks", 1) or 1
+        layout = compute_layout(config, disk.geometry.num_blocks, align=align)
         fs = cls(disk, config, layout)
         if obs is not None:
             obs.attach(fs)
@@ -234,8 +239,11 @@ class LFS:
             selective_read_utilization=runtime.selective_read_utilization,
             battery_backed_buffer=runtime.battery_backed_buffer,
             media_error_budget=runtime.media_error_budget,
+            hot_cold_segregation=runtime.hot_cold_segregation,
+            wear_leveling=runtime.wear_leveling,
         )
-        layout = compute_layout(merged, disk.geometry.num_blocks)
+        align = getattr(disk.geometry, "erase_block_blocks", 1) or 1
+        layout = compute_layout(merged, disk.geometry.num_blocks, align=align)
         if layout.num_segments != sb.num_segments or layout.segment_area_start != sb.segment_area_start:
             raise CorruptionError("superblock layout does not match device geometry")
         fs = cls(disk, merged, layout)
@@ -339,6 +347,7 @@ class LFS:
         self._filemaps.clear()
         self._dir_states.clear()
         self._pending_dirops.clear()
+        self._pending_trims.clear()
 
     @property
     def mounted(self) -> bool:
@@ -1308,6 +1317,47 @@ class LFS:
             for addr in self._dirop_addrs:
                 self.usage.remove_live(self.layout.segment_of(addr), bs)
             self._dirop_addrs = []
+            # Segment deaths recorded before this region write are durable
+            # now: the usage table just persisted them clean, so recovery
+            # can never need their old bytes. Safe to TRIM.
+            if self._pending_trims:
+                self._drain_pending_trims()
+
+    def _drain_pending_trims(self) -> None:
+        """TRIM deferred dead segments whose death a checkpoint persisted.
+
+        A segment is skipped (and forgotten) if it was reopened by the
+        writer or quarantined since its death was recorded; it is trimmed
+        only while still clean.
+        """
+        pending, self._pending_trims = self._pending_trims, set()
+        held = self.writer.open_segments()
+        for seg_no in sorted(pending):
+            rec = self.usage.get(seg_no)
+            if not rec.clean or rec.quarantined or seg_no in held:
+                continue
+            self._trim_segment(seg_no)
+
+    def _trim_segment(self, seg_no: int) -> None:
+        """TRIM one dead segment's blocks on a flash disk (no-op elsewhere).
+
+        Callers must only pass segments whose death is durable — a
+        checkpoint has already persisted the usage table marking them
+        clean — because a trimmed, never-reprogrammed block is unreadable
+        by contract and recovery must never want one.
+        """
+        if self.disk.flash is None:
+            return
+        start = self.layout.segment_start(seg_no)
+        erased = self.disk.trim(start, self.config.segment_blocks)
+        if self.obs is not None:
+            self.obs.emit(
+                FLASH_TRIM,
+                segment=seg_no,
+                start=start,
+                blocks=self.config.segment_blocks,
+                erased=erased,
+            )
 
     def clean_now(self, target_clean: int | None = None) -> int:
         """Run the cleaner immediately; returns segments cleaned."""

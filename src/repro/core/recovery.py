@@ -32,7 +32,7 @@ from repro.core.constants import (
     DirOp,
 )
 from repro.core.dirlog import DirOpRecord, unpack_block
-from repro.core.errors import CorruptionError, MediaError
+from repro.core.errors import CorruptionError, MediaError, TrimmedBlockError
 from repro.core.inode import Inode, unpack_inode_block
 from repro.core.mapping import FileMap
 from repro.core.summary import SegmentSummary, try_parse_summary
@@ -95,7 +95,14 @@ def _collect_partial_writes(fs, cp: Checkpoint, report: RecoveryReport) -> list[
         initial_next = None
         stop = False
         while offset < seg_blocks - 1:
-            block = fs.disk.read_block(start + offset)
+            try:
+                block = fs.disk.read_block(start + offset)
+            except TrimmedBlockError:
+                # A trimmed, never-reprogrammed page cannot hold a valid
+                # summary: the device is saying nothing was written here
+                # after the segment's TRIM, so the log ends at this point.
+                stop = True
+                break
             summary = try_parse_summary(block, fs.config.block_size)
             if summary is None or summary.seq != expected_seq:
                 stop = True

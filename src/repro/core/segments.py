@@ -62,6 +62,10 @@ class LogWriteStats:
     cleaner_blocks: int = 0
     total_blocks: int = 0
     segments_opened: int = 0
+    # Hot/cold segregation: blocks routed through the cold cursor and
+    # segments it opened (both zero unless the config enables it).
+    cold_blocks: int = 0
+    cold_segments_opened: int = 0
 
     def count(self, kind: BlockKind, n: int = 1) -> None:
         self.blocks_by_kind[kind] = self.blocks_by_kind.get(kind, 0) + n
@@ -93,6 +97,15 @@ class LogWriter:
         self.current_segment: int | None = None
         self.next_segment: int | None = None  # reserved successor (threading)
         self.offset = 0  # blocks already used in the current segment
+        # Second open segment for cold data (``hot_cold_segregation``):
+        # cleaner-rewritten blocks — proven survivors, hence cold — land
+        # here so they never dilute segments of fresh hot writes. The
+        # cold cursor is not persisted by checkpoints: its writes are
+        # cleaner output, which recovery ignores until the following
+        # checkpoint publishes it, so losing the cursor at worst wastes
+        # the open segment's tail until the cleaner reclaims it.
+        self.cold_segment: int | None = None
+        self.cold_offset = 0
         self.seq = 1  # next partial-write sequence number
         # Write-through CRC index: addr -> CRC-32 of the payload written
         # there (summary blocks included). The read path verifies against
@@ -122,10 +135,23 @@ class LogWriter:
         if next_segment is not None:
             self.usage.mark_in_use(next_segment)
 
+    def open_segments(self) -> tuple[int, ...]:
+        """Segments the writer holds open or reserved (hot, next, cold)."""
+        return tuple(
+            s
+            for s in (self.current_segment, self.next_segment, self.cold_segment)
+            if s is not None
+        )
+
     def _remaining_in_segment(self) -> int:
         if self.current_segment is None:
             return 0
         return self.config.segment_blocks - self.offset
+
+    def _remaining_in_cold_segment(self) -> int:
+        if self.cold_segment is None:
+            return 0
+        return self.config.segment_blocks - self.cold_offset
 
     def _reserve_next(self) -> None:
         """Reserve the segment the log will continue into.
@@ -137,7 +163,11 @@ class LogWriter:
         """
         if self.next_segment is not None:
             return
-        clean = [s for s in self.usage.clean_segments() if s != self.current_segment]
+        clean = [
+            s
+            for s in self.usage.clean_segments()
+            if s != self.current_segment and s != self.cold_segment
+        ]
         if not clean:
             return
         if not self.exempt and len(clean) <= self.reserve:
@@ -167,6 +197,29 @@ class LogWriter:
             self.disk.obs.emit(LOG_SEGMENT_OPEN, segment=seg)
         self._reserve_next()
 
+    def _advance_cold_segment(self) -> None:
+        """Open a fresh clean segment for the cold (cleaner-output) cursor.
+
+        The cold cursor has no reserved successor and its summaries do
+        not thread the log (``next_segment = NO_SEGMENT``): roll-forward
+        never needs to walk a cold segment because every cleaning flush
+        is followed by a checkpoint before its sources are reclaimed.
+        The cleaner runs with the reserve exempt, so this draws straight
+        from the clean list.
+        """
+        exclude = {self.current_segment, self.next_segment, self.cold_segment}
+        clean = [s for s in self.usage.clean_segments() if s not in exclude]
+        if not clean:
+            raise NoSpaceError("no clean segments left for the cold log cursor")
+        seg = clean[0]
+        self.usage.mark_in_use(seg)
+        self.cold_segment = seg
+        self.cold_offset = 0
+        self.stats.segments_opened += 1
+        self.stats.cold_segments_opened += 1
+        if self.disk.obs is not None:
+            self.disk.obs.emit(LOG_SEGMENT_OPEN, segment=seg, cold=True)
+
     # ------------------------------------------------------------------
     # writing
 
@@ -178,22 +231,38 @@ class LogWriter:
         write: place every item (assign addresses, run callbacks), then
         serialize payloads, then issue one streamed disk write of
         summary + payloads.
+
+        With ``hot_cold_segregation`` enabled, cleaning writes go through
+        the *cold* cursor instead of the hot one: cleaner survivors and
+        fresh data never share a segment, so survivor segments stay dense
+        while hot segments decay toward empty.
         """
         if not items:
             return 0
+        cold = cleaning and self.config.hot_cold_segregation
         writes = 0
         pos = 0
         now = self.disk.clock.now
         while pos < len(items):
-            if self.current_segment is None or self._remaining_in_segment() < 2:
-                self._advance_segment()
-            if self.next_segment is None:
-                self._reserve_next()
-            room = self._remaining_in_segment() - 1  # minus the summary block
+            if cold:
+                if self.cold_segment is None or self._remaining_in_cold_segment() < 2:
+                    self._advance_cold_segment()
+                segment, offset = self.cold_segment, self.cold_offset
+                chain = NO_SEGMENT
+            else:
+                if self.current_segment is None or self._remaining_in_segment() < 2:
+                    self._advance_segment()
+                if self.next_segment is None:
+                    self._reserve_next()
+                segment, offset = self.current_segment, self.offset
+                chain = (
+                    self.next_segment if self.next_segment is not None else NO_SEGMENT
+                )
+            room = self.config.segment_blocks - offset - 1  # minus the summary block
             batch = items[pos : pos + min(room, self._capacity)]
             pos += len(batch)
 
-            start_addr = self.layout.segment_start(self.current_segment) + self.offset
+            start_addr = self.layout.segment_start(segment) + offset
             entries = []
             youngest = 0.0
             for i, item in enumerate(batch):
@@ -216,9 +285,7 @@ class LogWriter:
                 write_time=now,
                 youngest_mtime=youngest,
                 entries=entries,
-                next_segment=self.next_segment
-                if self.next_segment is not None
-                else NO_SEGMENT,
+                next_segment=chain,
             )
             summary_block = summary.pack(payloads, self.config.block_size)
             self.block_crcs[start_addr] = checksum([summary_block])
@@ -226,7 +293,7 @@ class LogWriter:
                 self.block_crcs[start_addr + 1 + i] = entry.block_crc
 
             self.disk.write_blocks(start_addr, [summary_block] + payloads)
-            self.usage.add_live(self.current_segment, 0, now)  # stamp write time
+            self.usage.add_live(segment, 0, now)  # stamp write time
             obs = self.disk.obs
             if obs is not None:
                 # Mirrors the stats.count() calls below exactly, so trace
@@ -234,16 +301,22 @@ class LogWriter:
                 kinds = {BlockKind.SUMMARY.name: 1}
                 for item in batch:
                     kinds[item.kind.name] = kinds.get(item.kind.name, 0) + 1
-                obs.emit(
-                    LOG_WRITE,
-                    segment=self.current_segment,
+                evt = dict(
+                    segment=segment,
                     seq=self.seq,
-                    offset=self.offset,
+                    offset=offset,
                     blocks=1 + len(batch),
                     cleaning=cleaning,
                     kinds=kinds,
                 )
-            self.offset += 1 + len(batch)
+                if cold:
+                    evt["cold"] = True
+                obs.emit(LOG_WRITE, **evt)
+            if cold:
+                self.cold_offset += 1 + len(batch)
+                self.stats.cold_blocks += 1 + len(batch)
+            else:
+                self.offset += 1 + len(batch)
             self.seq += 1
             writes += 1
             self.stats.partial_writes += 1

@@ -20,11 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.errors import DiskRangeError, MediaError
+from repro.core.errors import DiskRangeError, MediaError, TrimmedBlockError
 from repro.disk.faults import CrashInjector, DiskCrashed, MediaFaultModel
-from repro.disk.geometry import DiskGeometry
+from repro.disk.geometry import DiskGeometry, FlashGeometry
 from repro.disk.timing import IOStats, RetryPolicy, SimClock
-from repro.obs.events import MEDIA_ERROR, MEDIA_RETRY
+from repro.obs.events import FLASH_ERASE, MEDIA_ERROR, MEDIA_RETRY
 
 # Blocks per lazily allocated image extent. 4096 blocks is 16 MiB at the
 # default 4 KiB block size — big enough that any segment-sized request
@@ -40,10 +40,75 @@ class DiskState:
     ``written`` is the exact set of block addresses ever written, which
     must be preserved independently of the extents so that
     ``written_addresses()`` round-trips through snapshot/restore.
+
+    The four flash fields capture a flash device's erase-block state
+    (``None`` on non-flash devices and in snapshots from before the flash
+    model existed); they round-trip so erase counts are conserved across
+    snapshot/restore — the torture replay harness depends on it.
     """
 
     chunks: tuple[bytes | None, ...]
     written: frozenset[int]
+    erase_counts: tuple[int, ...] | None = None
+    programmed: frozenset[int] | None = None
+    trimmed: frozenset[int] | None = None
+    dirty_blocks: frozenset[int] | None = None
+
+
+@dataclass(frozen=True)
+class FlashMetrics:
+    """A point-in-time scrape of a flash device's wear state.
+
+    Registered in the metrics registry as source ``"flash"`` when an
+    observation attaches to a flash-geometry disk, so erase totals and
+    the wear spread show up in snapshots, reports, and bench deltas.
+    """
+
+    erase_blocks: int
+    erases_total: int
+    wear_min: int
+    wear_max: int
+    wear_spread: int
+    programmed_pages: int
+    trimmed_pages: int
+
+
+class _FlashState:
+    """Erase-block bookkeeping layered onto a flash-geometry ``Disk``.
+
+    ``programmed`` holds pages written since their erase block was last
+    erased (programming any of them again forces an erase first);
+    ``trimmed`` holds pages whose contents the FS declared dead — reads
+    fail with :class:`TrimmedBlockError` until they are rewritten;
+    ``dirty`` holds erase-block indices programmed into since their last
+    erase; ``erase_counts`` is the per-erase-block wear ledger.
+    """
+
+    __slots__ = ("geometry", "erase_counts", "programmed", "trimmed", "dirty")
+
+    def __init__(self, geometry: FlashGeometry) -> None:
+        self.geometry = geometry
+        self.erase_counts: list[int] = [0] * geometry.num_erase_blocks
+        self.programmed: set[int] = set()
+        self.trimmed: set[int] = set()
+        self.dirty: set[int] = set()
+
+    def pages_of(self, eb: int) -> range:
+        """Block addresses covered by erase block ``eb``."""
+        ebb = self.geometry.erase_block_blocks
+        return range(eb * ebb, min((eb + 1) * ebb, self.geometry.num_blocks))
+
+    def metrics(self) -> FlashMetrics:
+        counts = self.erase_counts
+        return FlashMetrics(
+            erase_blocks=len(counts),
+            erases_total=sum(counts),
+            wear_min=min(counts) if counts else 0,
+            wear_max=max(counts) if counts else 0,
+            wear_spread=(max(counts) - min(counts)) if counts else 0,
+            programmed_pages=len(self.programmed),
+            trimmed_pages=len(self.trimmed),
+        )
 
 
 class Disk:
@@ -62,6 +127,13 @@ class Disk:
     ) -> None:
         self.geometry = geometry if geometry is not None else DiskGeometry.wren4()
         self.clock = clock if clock is not None else SimClock()
+        # Erase-block state exists only on flash geometries; everywhere
+        # else ``flash is None`` and the flash paths cost one check.
+        self.flash: _FlashState | None = (
+            _FlashState(self.geometry)
+            if isinstance(self.geometry, FlashGeometry)
+            else None
+        )
         self.stats = IOStats()
         self.faults = CrashInjector()
         self.media = MediaFaultModel()
@@ -138,21 +210,31 @@ class Disk:
         self, to_block: int, nblocks: int, *, write: bool, force_latency: bool = False
     ) -> None:
         nbytes = nblocks * self.geometry.block_size
-        elapsed = self.geometry.access_time(self._head, to_block, nbytes)
-        seeked = to_block != self._head
-        if force_latency and not seeked:
-            # An individually issued request misses the rotation even when
-            # the target is adjacent (no controller streaming) — how the
-            # paper's SunOS performs "individual disk operations for each
-            # block".
-            elapsed += self.geometry.rotation_time / 2.0
-            seeked = True
-        self.clock.advance(elapsed)
-        self.stats.busy_time += elapsed
-        self.stats.transfer_time += self.geometry.transfer_time(nbytes)
-        if seeked:
-            self.stats.seeks += 1
-            self.stats.seek_time += elapsed - self.geometry.transfer_time(nbytes)
+        if self.flash is not None:
+            # Flash: no arm, no rotation — position and ``force_latency``
+            # are irrelevant; reads and programs pay asymmetric fixed
+            # latencies plus a channel-striped transfer.
+            elapsed = self.geometry.service_time(nbytes, write=write)
+            seeked = False
+            self.clock.advance(elapsed)
+            self.stats.busy_time += elapsed
+            self.stats.transfer_time += elapsed
+        else:
+            elapsed = self.geometry.access_time(self._head, to_block, nbytes)
+            seeked = to_block != self._head
+            if force_latency and not seeked:
+                # An individually issued request misses the rotation even
+                # when the target is adjacent (no controller streaming) —
+                # how the paper's SunOS performs "individual disk
+                # operations for each block".
+                elapsed += self.geometry.rotation_time / 2.0
+                seeked = True
+            self.clock.advance(elapsed)
+            self.stats.busy_time += elapsed
+            self.stats.transfer_time += self.geometry.transfer_time(nbytes)
+            if seeked:
+                self.stats.seeks += 1
+                self.stats.seek_time += elapsed - self.geometry.transfer_time(nbytes)
         if write:
             self.stats.writes += 1
             self.stats.blocks_written += nblocks
@@ -207,6 +289,109 @@ class Disk:
                     )
 
     # ------------------------------------------------------------------
+    # flash erase-block semantics
+
+    def _flash_check_read(self, addr: int, count: int) -> None:
+        """Enforce the flash honesty contract on a semantic read.
+
+        A trimmed-but-not-rewritten page has no contents anymore: the
+        read fails with a typed :class:`TrimmedBlockError` rather than
+        returning whatever bytes the image still holds. (``peek`` and
+        ``view`` stay raw — they are the forensic, non-semantic probes.)
+        """
+        fl = self.flash
+        if fl is None or not fl.trimmed:
+            return
+        for a in range(addr, addr + count):
+            if a in fl.trimmed:
+                raise TrimmedBlockError(
+                    "block was trimmed and not rewritten", addr=a, op="read"
+                )
+
+    def _flash_prepare(self, addr: int, nblocks: int) -> None:
+        """Enforce erase-before-reuse ahead of a program.
+
+        Reprogramming any page still programmed from a previous write
+        forces an erase of its whole erase block first (charged to the
+        clock and the wear ledger). A range the FS trimmed ahead of time
+        was already erased by :meth:`trim`, so reuse pays no stall —
+        that is the entire point of TRIM.
+        """
+        fl = self.flash
+        if fl is None:
+            return
+        ebb = self.geometry.erase_block_blocks
+        span = range(addr, addr + nblocks)
+        for eb in range(addr // ebb, (addr + nblocks - 1) // ebb + 1):
+            lo = max(addr, eb * ebb)
+            hi = min(addr + nblocks, (eb + 1) * ebb)
+            if any(a in fl.programmed for a in range(lo, hi)):
+                self._erase_block(eb, reason="reuse")
+        fl.programmed.update(span)
+        fl.trimmed.difference_update(span)
+        fl.dirty.update(range(addr // ebb, (addr + nblocks - 1) // ebb + 1))
+
+    def _erase_block(self, eb: int, *, reason: str) -> None:
+        """Erase one erase block: wear +1, erase latency on the clock.
+
+        Like retry backoff, erase time advances the clock but not
+        ``busy_time`` (busy time stays the sum of served transfers so
+        per-cause attribution adds up). Contents are preserved — the
+        model's FTL migrates surviving pages — but every page in the
+        block becomes programmable again without a further erase.
+        """
+        fl = self.flash
+        fl.erase_counts[eb] += 1
+        fl.programmed.difference_update(fl.pages_of(eb))
+        fl.dirty.discard(eb)
+        self.stats.erases += 1
+        latency = self.geometry.erase_latency
+        self.clock.advance(latency)
+        self.stats.erase_time += latency
+        if self.obs is not None:
+            ebb = self.geometry.erase_block_blocks
+            self.obs.emit(
+                FLASH_ERASE,
+                block=eb,
+                start=eb * ebb,
+                blocks=len(fl.pages_of(eb)),
+                count=fl.erase_counts[eb],
+                reason=reason,
+            )
+
+    def trim(self, addr: int, count: int = 1) -> int:
+        """Declare ``count`` blocks dead (TRIM); returns erases performed.
+
+        On a non-flash geometry this is a free no-op. On flash the pages
+        are marked trimmed — reads raise :class:`TrimmedBlockError`
+        until they are rewritten — and any erase block left with no
+        programmed pages is erased immediately ("erase ahead of reuse"),
+        so the next log write into a trimmed segment pays no erase
+        stall. The TRIM command itself costs no simulated time; the
+        erases it triggers are charged normally.
+        """
+        self._check_range(addr, count)
+        fl = self.flash
+        if fl is None:
+            return 0
+        span = range(addr, addr + count)
+        fl.programmed.difference_update(span)
+        fl.trimmed.update(span)
+        erased = 0
+        for eb in range(addr // fl.geometry.erase_block_blocks,
+                        (addr + count - 1) // fl.geometry.erase_block_blocks + 1):
+            if eb in fl.dirty and not any(
+                a in fl.programmed for a in fl.pages_of(eb)
+            ):
+                self._erase_block(eb, reason="trim")
+                erased += 1
+        return erased
+
+    def flash_metrics(self) -> FlashMetrics | None:
+        """Wear/state scrape for the metrics registry (None off flash)."""
+        return self.flash.metrics() if self.flash is not None else None
+
+    # ------------------------------------------------------------------
     # I/O
 
     def read_block(self, addr: int, *, force_latency: bool = False) -> bytes:
@@ -218,6 +403,7 @@ class Disk:
         """
         self._check_range(addr)
         self.faults.check_read(addr)
+        self._flash_check_read(addr, 1)
         self._media_check(addr, 1, "read")
         self._account(addr, 1, write=False, force_latency=force_latency)
         return self._load(addr)
@@ -226,6 +412,7 @@ class Disk:
         """Read ``count`` contiguous blocks as one streamed request."""
         self._check_range(addr, count)
         self.faults.check_read(addr)
+        self._flash_check_read(addr, count)
         self._media_check(addr, count, "read")
         self._account(addr, count, write=False)
         return [self._load(addr + i) for i in range(count)]
@@ -238,6 +425,7 @@ class Disk:
         self._check_range(addr)
         data = self._check_payload(data)
         self._media_check(addr, 1, "write")
+        self._flash_prepare(addr, 1)
         self._persist(addr, data)
         self._account(addr, 1, write=True, force_latency=force_latency)
 
@@ -271,6 +459,7 @@ class Disk:
         self._check_range(addr, len(blocks))
         payloads = [self._check_payload(b) for b in blocks]
         self._media_check(addr, len(payloads), "write")
+        self._flash_prepare(addr, len(payloads))
         self._account(addr, len(payloads), write=True)
         for i in self.faults.request_order(len(payloads)):
             self._persist(addr + i, payloads[i])
@@ -319,9 +508,14 @@ class Disk:
 
     def snapshot_state(self) -> DiskState:
         """Capture contents for later :meth:`restore_state` (picklable)."""
+        fl = self.flash
         return DiskState(
             chunks=tuple(bytes(c) if c is not None else None for c in self._chunks),
             written=frozenset(self._written),
+            erase_counts=tuple(fl.erase_counts) if fl is not None else None,
+            programmed=frozenset(fl.programmed) if fl is not None else None,
+            trimmed=frozenset(fl.trimmed) if fl is not None else None,
+            dirty_blocks=frozenset(fl.dirty) if fl is not None else None,
         )
 
     def restore_state(self, state: DiskState) -> None:
@@ -335,6 +529,16 @@ class Disk:
             bytearray(c) if c is not None else None for c in state.chunks
         ]
         self._written = set(state.written)
+        if self.flash is not None:
+            if state.erase_counts is not None:
+                self.flash.erase_counts = list(state.erase_counts)
+                self.flash.programmed = set(state.programmed or ())
+                self.flash.trimmed = set(state.trimmed or ())
+                self.flash.dirty = set(state.dirty_blocks or ())
+            else:
+                # Snapshot predates the flash model (or came from a
+                # non-flash device): start from factory-fresh blocks.
+                self.flash = _FlashState(self.geometry)
 
     def crash(
         self, *, after_writes: int | None = None, mode: str = "clean", seed: int = 0

@@ -130,6 +130,104 @@ class DiskGeometry:
         )
 
 
+@dataclass(frozen=True)
+class FlashGeometry(DiskGeometry):
+    """An SSD-class device: no positional seek, erases instead.
+
+    Flash inverts the Wren IV's economics: random and sequential access
+    cost the same (there is no arm), reads are an order of magnitude
+    cheaper than programs, and reprogramming a page first requires
+    erasing its whole *erase block* — the one operation slower than
+    everything else. :class:`~repro.disk.device.Disk` detects this
+    geometry and layers erase-block state on top of the plain image:
+    erase-before-reuse enforcement, per-erase-block wear counts, and a
+    TRIM command (``Disk.trim``) so the file system can tell the device
+    which blocks are dead.
+
+    Attributes:
+        read_latency: fixed per-request command latency for reads.
+        program_latency: fixed per-request latency for writes (programs).
+        erase_latency: seconds to erase one erase block.
+        erase_block_blocks: device blocks per erase block. The file
+            system aligns its segment area to this boundary at format
+            time, so whole dead segments map onto whole erase blocks
+            and TRIM can erase ahead of reuse.
+        channels: independent flash channels; a multi-block request
+            stripes its transfer across up to this many channels
+            (``transfer_bandwidth`` is per channel).
+    """
+
+    read_latency: float = 60e-6
+    program_latency: float = 800e-6
+    erase_latency: float = 0.003
+    erase_block_blocks: int = 256
+    channels: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if min(self.read_latency, self.program_latency, self.erase_latency) < 0:
+            raise ValueError("flash latencies must be non-negative")
+        if self.erase_block_blocks <= 0:
+            raise ValueError("erase_block_blocks must be positive")
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
+
+    @property
+    def num_erase_blocks(self) -> int:
+        """Erase blocks on the device (the last one may be partial)."""
+        return -(-self.num_blocks // self.erase_block_blocks)
+
+    def erase_block_of(self, addr: int) -> int:
+        """Index of the erase block containing block ``addr``."""
+        return addr // self.erase_block_blocks
+
+    def seek_time(self, from_block: int, to_block: int) -> float:
+        """Flash has no arm: repositioning is free."""
+        return 0.0
+
+    def service_time(self, nbytes: int, *, write: bool) -> float:
+        """One request: fixed command latency + channel-striped transfer."""
+        nblocks = max(1, -(-nbytes // self.block_size))
+        lanes = min(self.channels, nblocks)
+        latency = self.program_latency if write else self.read_latency
+        return latency + self.transfer_time(nbytes) / lanes
+
+    def access_time(self, from_block: int, to_block: int, nbytes: int) -> float:
+        """Read-side service time (for geometry-only callers).
+
+        The device's accounting path uses :meth:`service_time` directly
+        so reads and programs get their asymmetric latencies.
+        """
+        return self.service_time(nbytes, write=False)
+
+    @classmethod
+    def nand(
+        cls,
+        *,
+        block_size: int = 4096,
+        num_blocks: int = 81920,
+        erase_block_blocks: int = 256,
+        channels: int = 4,
+    ) -> "FlashGeometry":
+        """A first-order SLC-NAND SSD profile for what-if experiments.
+
+        ~60 us page read, ~800 us page program, ~3 ms block erase,
+        200 MB/s per channel across 4 channels. With the standard 512 KB
+        segments the default erase block (256 x 4 KB = 1 MB) spans two
+        segments.
+        """
+        return cls(
+            block_size=block_size,
+            num_blocks=num_blocks,
+            avg_seek_time=0.0,
+            rotation_time=0.0,
+            transfer_bandwidth=200e6,
+            min_seek_time=0.0,
+            erase_block_blocks=erase_block_blocks,
+            channels=channels,
+        )
+
+
 @dataclass
 class CpuModel:
     """A trivial CPU-time model used by benchmark harnesses.

@@ -8,7 +8,7 @@ the speed of the Python interpreter running them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 class SimClock:
@@ -32,7 +32,14 @@ class SimClock:
         return self._now
 
     def advance_to(self, when: float) -> float:
-        """Move time forward to ``when`` if it is in the future."""
+        """Move time forward to ``when`` if it is in the future.
+
+        A ``when`` in the past is a no-op; NaN is rejected loudly (every
+        comparison against NaN is false, so without the explicit check a
+        NaN target would silently leave the clock untouched).
+        """
+        if when != when:
+            raise ValueError("cannot advance the clock to NaN")
         if when > self._now:
             self._now = when
         return self._now
@@ -67,41 +74,34 @@ class IOStats:
     retries: int = 0
     retry_time: float = 0.0
     media_errors: int = 0
+    # Flash counters: ``erases`` is whole erase-block erasures and
+    # ``erase_time`` the simulated seconds they took. Like retry backoff,
+    # erase time advances the clock but is *not* part of ``busy_time`` —
+    # busy time stays the sum of served transfers, so per-cause
+    # attribution still adds up exactly.
+    erases: int = 0
+    erase_time: float = 0.0
 
     def snapshot(self) -> "IOStats":
-        """Return an independent copy of the current counters."""
-        return IOStats(
-            reads=self.reads,
-            writes=self.writes,
-            blocks_read=self.blocks_read,
-            blocks_written=self.blocks_written,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-            seeks=self.seeks,
-            busy_time=self.busy_time,
-            seek_time=self.seek_time,
-            transfer_time=self.transfer_time,
-            retries=self.retries,
-            retry_time=self.retry_time,
-            media_errors=self.media_errors,
-        )
+        """Return an independent copy of the current counters.
+
+        Iterates ``dataclasses.fields`` so a counter added to this class
+        can never be silently dropped from copies (and hence from bench
+        deltas).
+        """
+        return IOStats(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     def delta(self, earlier: "IOStats") -> "IOStats":
-        """Return the difference between these counters and ``earlier``."""
+        """Return the difference between these counters and ``earlier``.
+
+        Field-driven for the same reason as :meth:`snapshot`: a new
+        counter participates in deltas automatically.
+        """
         return IOStats(
-            reads=self.reads - earlier.reads,
-            writes=self.writes - earlier.writes,
-            blocks_read=self.blocks_read - earlier.blocks_read,
-            blocks_written=self.blocks_written - earlier.blocks_written,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            bytes_written=self.bytes_written - earlier.bytes_written,
-            seeks=self.seeks - earlier.seeks,
-            busy_time=self.busy_time - earlier.busy_time,
-            seek_time=self.seek_time - earlier.seek_time,
-            transfer_time=self.transfer_time - earlier.transfer_time,
-            retries=self.retries - earlier.retries,
-            retry_time=self.retry_time - earlier.retry_time,
-            media_errors=self.media_errors - earlier.media_errors,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
     @property
@@ -135,11 +135,13 @@ class RetryPolicy:
     """Bounded retry with exponential simulated-time backoff.
 
     An access that raises a media error is retried up to ``attempts - 1``
-    times; before re-attempt *n* the device waits
-    ``backoff * multiplier**(n - 1)`` simulated seconds (charged to the
-    clock, tallied in :attr:`IOStats.retry_time`). Transient errors cost
-    disk time, not correctness; latent sector errors exhaust the budget
-    and surface as :class:`~repro.core.errors.MediaError`.
+    times. Attempts are numbered from 1, so re-attempts are numbered
+    2, 3, ...; before re-attempt *n* the device waits
+    ``backoff * multiplier**(n - 2)`` simulated seconds — the first
+    retry waits exactly ``backoff`` — charged to the clock and tallied
+    in :attr:`IOStats.retry_time`. Transient errors cost disk time, not
+    correctness; latent sector errors exhaust the budget and surface as
+    :class:`~repro.core.errors.MediaError`.
     """
 
     attempts: int = 3
@@ -153,7 +155,12 @@ class RetryPolicy:
             raise ValueError("backoff must be >= 0 and multiplier > 0")
 
     def backoff_before(self, attempt: int) -> float:
-        """Seconds to wait before re-attempt number ``attempt`` (2, 3, ...)."""
+        """Seconds to wait before re-attempt number ``attempt`` (2, 3, ...).
+
+        ``backoff * multiplier**(attempt - 2)``: re-attempt 2 (the first
+        retry) waits ``backoff``, re-attempt 3 waits
+        ``backoff * multiplier``, and so on.
+        """
         return self.backoff * self.multiplier ** (attempt - 2)
 
 

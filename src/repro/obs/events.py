@@ -28,6 +28,8 @@ kind               fields
 ``server.arrive``  ``client, tenant, op, depth``
 ``server.start``   ``client, tenant, op, wait``
 ``server.done``    ``client, tenant, op, latency, service``
+``flash.erase``    ``block, start, blocks, count, reason``
+``flash.trim``     ``segment, start, blocks, erased``
 =================  ====================================================
 
 Events emitted while a tenant attribution scope is open additionally
@@ -71,6 +73,12 @@ SPAN_END = "span.end"
 SERVER_ARRIVE = "server.arrive"
 SERVER_START = "server.start"
 SERVER_DONE = "server.done"
+# Flash lifecycle: the device erased an erase block (``block`` is the
+# erase-block index, ``count`` its new wear count, ``reason`` is
+# ``"reuse"`` for an on-demand erase stalling a program or ``"trim"``
+# for an erase-ahead triggered by TRIM); the FS trimmed a dead segment.
+FLASH_ERASE = "flash.erase"
+FLASH_TRIM = "flash.trim"
 
 #: Version of the trace JSONL on-disk format. Bumped whenever the header,
 #: trailer, or event line shape changes incompatibly. Schema 1 traces had
@@ -99,6 +107,8 @@ EVENT_KINDS = (
     SERVER_ARRIVE,
     SERVER_START,
     SERVER_DONE,
+    FLASH_ERASE,
+    FLASH_TRIM,
 )
 
 

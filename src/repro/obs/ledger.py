@@ -30,6 +30,8 @@ from repro.obs.derive import cleaning_summary
 from repro.obs.events import (
     CLEAN_QUARANTINE,
     CLEAN_SEGMENT,
+    FLASH_ERASE,
+    FLASH_TRIM,
     LOG_SEGMENT_OPEN,
     LOG_WRITE,
     Event,
@@ -62,6 +64,10 @@ class SegmentLife:
     death_time: float | None = None
     death_utilization: float | None = None
     age_at_death: float | None = None
+    #: opened by the cold (cleaner-output) cursor under hot/cold segregation
+    cold: bool = False
+    #: the file system TRIMmed this segment after its death
+    trimmed: bool = False
 
     @property
     def closed(self) -> bool:
@@ -85,6 +91,13 @@ class SegmentLedger:
         self._mirror: dict[int, tuple[int, bool, bool]] = {}
         self._sample_stride: dict[int, int] = {}
         self._fs = None
+        # Flash lifecycle totals (all zero off flash).
+        self.erase_events = 0
+        self.erases_by_reason: dict[str, int] = {}
+        self.trim_events = 0
+        self.trim_blocks = 0
+        #: most recent closed life per segment, for TRIM annotation
+        self._last_closed: dict[int, SegmentLife] = {}
 
     def install(self, obs) -> "SegmentLedger":
         """Subscribe to an :class:`~repro.obs.observation.Observation`."""
@@ -143,6 +156,16 @@ class SegmentLedger:
         elif kind == CLEAN_QUARANTINE:
             self._close_life(event, cause="quarantined", utilization=None)
             self.quarantined.add(event.fields["segment"])
+        elif kind == FLASH_ERASE:
+            self.erase_events += 1
+            reason = event.fields.get("reason", "?")
+            self.erases_by_reason[reason] = self.erases_by_reason.get(reason, 0) + 1
+        elif kind == FLASH_TRIM:
+            self.trim_events += 1
+            self.trim_blocks += event.fields.get("blocks", 0)
+            life = self._last_closed.get(event.fields["segment"])
+            if life is not None:
+                life.trimmed = True
 
     def _open_life(self, event: Event) -> None:
         seg_no = event.fields["segment"]
@@ -154,6 +177,7 @@ class SegmentLedger:
         self._sample_stride.pop(seg_no, None)
         mirror = self._mirror.get(seg_no)
         life = SegmentLife(segment=seg_no, opened_at=event.time)
+        life.cold = bool(event.fields.get("cold"))
         if mirror is not None:
             life.live_bytes = mirror[0]
         self.lives[seg_no] = life
@@ -193,6 +217,7 @@ class SegmentLedger:
         life.death_utilization = utilization
         life.age_at_death = max(0.0, event.time - life.last_write)
         self.history.append(life)
+        self._last_closed[seg_no] = life
 
     # ------------------------------------------------------------------
     # derived views
@@ -256,7 +281,7 @@ class SegmentLedger:
         """Summary dict for run reports."""
         ages = [l.age_at_death for l in self.history if l.age_at_death is not None]
         writes = [l.writes for l in self.history]
-        return {
+        out = {
             "lives_open": len(self.lives),
             "lives_closed": len(self.history),
             "death_causes": self.death_causes(),
@@ -266,3 +291,14 @@ class SegmentLedger:
             "total_live_bytes": self.total_live_bytes(),
             "segments_cleaned": len(self.cleaned_utilizations),
         }
+        if self.erase_events or self.trim_events:
+            all_lives = list(self.lives.values()) + self.history
+            out["flash"] = {
+                "erase_events": self.erase_events,
+                "erases_by_reason": dict(sorted(self.erases_by_reason.items())),
+                "trim_events": self.trim_events,
+                "trim_blocks": self.trim_blocks,
+                "lives_cold": sum(1 for l in all_lives if l.cold),
+                "lives_trimmed": sum(1 for l in self.history if l.trimmed),
+            }
+        return out

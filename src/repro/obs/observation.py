@@ -68,6 +68,10 @@ class Observation:
         disk.obs = self
         self._clock = disk.clock
         self.registry.register("io", lambda d=disk: d.stats)
+        if disk.flash is not None:
+            # Wear state scraped live: erase totals and the min/max wear
+            # spread appear in snapshots, reports, and bench deltas.
+            self.registry.register("flash", lambda d=disk: d.flash_metrics())
         return self
 
     def attach(self, fs) -> "Observation":

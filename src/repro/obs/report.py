@@ -34,6 +34,7 @@ METRIC_DIRECTIONS = {
     "violations": -1,
     "mean_recovery_seconds": -1,
     "write_cost": -1,
+    "wear_spread": -1,
 }
 
 #: Metrics whose values are wall-clock dependent: machine noise, not
@@ -87,6 +88,8 @@ def build_report(obs, fs=None, ledger=None, *, name: str = "run", latency=None) 
         }
     if "io" in obs.registry.names():
         report["io"] = scrape(obs.registry.source("io"))
+    if "flash" in obs.registry.names():
+        report["flash"] = scrape(obs.registry.source("flash"))
     if fs is not None:
         fs_section: dict = {}
         if hasattr(fs, "write_cost"):
@@ -192,6 +195,22 @@ def render_report(report: dict) -> str:
                          f"{cleaning['avg_nonempty_utilization']:.4f}"])
         lines.append(render_table(["metric", "value"], rows, title="file system"))
 
+    flash = report.get("flash")
+    if flash:
+        rows = [[k.replace("_", " "), str(v)] for k, v in sorted(flash.items())]
+        flash_ledger = (report.get("ledger") or {}).get("flash")
+        if flash_ledger:
+            for key in ("erase_events", "trim_events", "trim_blocks",
+                        "lives_cold", "lives_trimmed"):
+                if key in flash_ledger:
+                    rows.append([key.replace("_", " "), str(flash_ledger[key])])
+            reasons = flash_ledger.get("erases_by_reason", {})
+            if reasons:
+                rows.append(["erases by reason",
+                             ", ".join(f"{k}={v}" for k, v in sorted(reasons.items()))])
+        lines.append(render_table(["metric", "value"], rows,
+                                  title="flash wear and TRIM"))
+
     ledger = report.get("ledger")
     if ledger:
         rows = [[k.replace("_", " "), str(v)] for k, v in sorted(ledger.items())
@@ -284,6 +303,10 @@ def _direction(metric: str) -> int | None:
     # e.g. ``latency_p99[c1000/drr/cleaner]``): simulated-time latencies
     # are deterministic per seed, so gating them is noise-free.
     if metric.startswith("latency_"):
+        return -1
+    # Flash cleaning-migration ratios (blocks moved per block written):
+    # deterministic in simulated time, lower is better.
+    if metric.startswith("migration_ratio"):
         return -1
     return METRIC_DIRECTIONS.get(metric)
 

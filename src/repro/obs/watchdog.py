@@ -29,7 +29,14 @@ the invariant and carrying the offending event):
   segment at that instant;
 - **tenant-within-total** — seconds charged inside tenant scopes never
   exceed the total attributed seconds (the tenant matrix is a
-  decomposition of a *subset* of busy time, never an over-count).
+  decomposition of a *subset* of busy time, never an over-count);
+- **erase-before-reuse** — on a flash disk, every page a ``disk.write``
+  just landed on is tracked as programmed and not trimmed (a page can
+  only be programmed after its erase block was erased when needed);
+- **trim-covers-no-live** — a ``flash.trim`` only ever covers a segment
+  the usage table (and the ledger mirror) holds at zero live bytes;
+- **erase-conservation** — the per-erase-block wear ledger's total
+  grows in lockstep with the device's ``erases`` counter.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.obs.events import (
     CLEAN_SEGMENT,
     DISK_READ,
     DISK_WRITE,
+    FLASH_TRIM,
     LOG_SEGMENT_OPEN,
     LOG_WRITE,
     Event,
@@ -85,6 +93,9 @@ class Watchdog:
         self._busy_offset = 0.0
         self._last_busy = 0.0
         self._busy_baseline: float | None = None
+        # (wear-ledger total, device erases) at first sight; both grow
+        # together from there or the wear accounting leaks.
+        self._erase_baseline: tuple[int, int] | None = None
 
     def install(self, obs) -> "Watchdog":
         """Subscribe to an :class:`~repro.obs.observation.Observation`."""
@@ -117,6 +128,8 @@ class Watchdog:
         kind = event.kind
         if kind in (DISK_READ, DISK_WRITE):
             self._check_attribution(event)
+            if kind == DISK_WRITE:
+                self._check_flash_programmed(event)
             return
         if kind in (LOG_SEGMENT_OPEN, LOG_WRITE):
             self._check_no_reopen(event)
@@ -126,9 +139,12 @@ class Watchdog:
             self._check_cleaned_utilization(event)
         if kind == CLEAN_QUARANTINE:
             self.quarantined.add(event.fields["segment"])
+        if kind == FLASH_TRIM:
+            self._check_trim_dead(event)
         if kind in _LIFECYCLE_KINDS:
             self._check_ledger_totals(event)
             self._check_cleaner_conservation(event)
+            self._check_erase_conservation(event)
 
     # ------------------------------------------------------------------
     # individual invariants
@@ -221,6 +237,81 @@ class Watchdog:
                 "ledger-mirrors-usage",
                 f"ledger mirrors {mirrored} total live bytes, usage table "
                 f"has {actual}",
+                event,
+            )
+
+    def _check_flash_programmed(self, event: Event) -> None:
+        fs = self._fs
+        if fs is None or not hasattr(fs, "disk"):
+            return
+        fl = getattr(fs.disk, "flash", None)
+        if fl is None:
+            return
+        self.checks_run += 1
+        addr = event.fields["addr"]
+        span = range(addr, addr + event.fields["blocks"])
+        missing = [a for a in span if a not in fl.programmed]
+        if missing:
+            raise InvariantViolation(
+                "erase-before-reuse",
+                f"pages {missing[:4]} were just written but the device does "
+                f"not track them as programmed (erase bookkeeping was "
+                f"bypassed)",
+                event,
+            )
+        stale = [a for a in span if a in fl.trimmed]
+        if stale:
+            raise InvariantViolation(
+                "erase-before-reuse",
+                f"pages {stale[:4]} are still marked trimmed after being "
+                f"rewritten",
+                event,
+            )
+
+    def _check_trim_dead(self, event: Event) -> None:
+        seg_no = event.fields["segment"]
+        self.checks_run += 1
+        if self._fs is not None and hasattr(self._fs, "usage"):
+            rec = self._fs.usage.get(seg_no)
+            if rec.live_bytes != 0 or not rec.clean:
+                raise InvariantViolation(
+                    "trim-covers-no-live",
+                    f"segment {seg_no} was trimmed while the usage table "
+                    f"holds {rec.live_bytes} live bytes "
+                    f"(clean={rec.clean})",
+                    event,
+                )
+        if self.ledger is not None and self.ledger.live_bytes_of(seg_no) != 0:
+            raise InvariantViolation(
+                "trim-covers-no-live",
+                f"segment {seg_no} was trimmed while the ledger mirrors "
+                f"{self.ledger.live_bytes_of(seg_no)} live bytes",
+                event,
+            )
+
+    def _check_erase_conservation(self, event: Event) -> None:
+        if self._obs is None:
+            return
+        names = self._obs.registry.names()
+        if "flash" not in names or "io" not in names:
+            return
+        self.checks_run += 1
+        wear_total = self._obs.registry.source("flash").erases_total
+        device_erases = self._obs.registry.source("io").erases
+        if self._erase_baseline is None:
+            self._erase_baseline = (wear_total, device_erases)
+        dw = wear_total - self._erase_baseline[0]
+        de = device_erases - self._erase_baseline[1]
+        if dw < 0 or de < 0:
+            # reset_stats or restore_state moved a counter backwards out
+            # from under us: re-baseline rather than fire falsely.
+            self._erase_baseline = (wear_total, device_erases)
+            return
+        if dw != de:
+            raise InvariantViolation(
+                "erase-conservation",
+                f"wear ledger grew by {dw} erases but the device counted "
+                f"{de} since the baseline",
                 event,
             )
 

@@ -377,12 +377,26 @@ def check_filesystem(disk: Disk) -> CheckReport:
                 bad_writes.append((offset, summary.seq, bad if bad else [start + offset]))
             offset += 1 + len(summary.entries)
         for write_offset, seq, bad_addrs in bad_writes:
-            if write_offset == last_write_offset and seq >= best.log_seq:
+            trailing = write_offset == last_write_offset
+            if trailing and seq >= best.log_seq:
                 # The newest write on the device failing its CRC is the
                 # expected residue of a crash, not rot.
                 report.warn(
                     f"segment {seg_no}: torn tail at offset {write_offset} "
                     f"(post-checkpoint seq {seq}; roll-forward will drop it)"
+                )
+            elif trailing and not any(a in live_addrs for a in bad_addrs):
+                # A trailing write that fails its CRC without implicating a
+                # single live block is droppable crash residue too. The seq
+                # test above clears the hot log's tail, but a cold-cursor
+                # tail (hot/cold segregation) is not checkpointed: after a
+                # remount the hot log's seq moves past the torn cold write,
+                # which nothing ever revisits or overwrites. Whatever it
+                # carried was cleaner copies whose sources are still live
+                # at their old addresses — nothing of value is lost.
+                report.warn(
+                    f"segment {seg_no}: dead torn write at offset {write_offset} "
+                    f"(seq {seq}, no live block implicated; crash residue)"
                 )
             else:
                 report.checksum_errors.extend(bad_addrs)

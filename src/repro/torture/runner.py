@@ -213,7 +213,9 @@ def _explore_media_point(
         recording.ops, recording.barriers, recording.total_blocks
     )
     area_start = compute_layout(
-        recording.config, recording.geometry.num_blocks
+        recording.config,
+        recording.geometry.num_blocks,
+        align=getattr(recording.geometry, "erase_block_blocks", 1) or 1,
     ).segment_area_start
     candidates = sorted(a for a in disk.written_addresses() if a >= area_start)
     inject_media_faults(
@@ -380,15 +382,19 @@ def run_torture(
     variants: tuple[str, ...] = FAULT_MODES,
     exhaustive: bool = False,
     watchdog: bool = False,
+    flash: bool = False,
 ) -> TortureResult:
     """Record one workload, then explore crash points across a pool.
 
     ``watchdog`` runs every point under the segment ledger + invariant
     watchdog (see :func:`_observe`); outcomes and the digest are
     unchanged unless an invariant actually breaks, which raises.
+    ``flash`` records the workload on the NAND profile (erase-aware
+    device, hot/cold segregation, wear leveling) so crash points land
+    inside the flash machinery too.
     """
     start = time.perf_counter()
-    recording = record_workload(workload, seed)
+    recording = record_workload(workload, seed, flash=flash)
     specs = select_points(
         recording, sample=sample, seed=seed, variants=variants, exhaustive=exhaustive
     )

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 
 from repro.core.config import LFSConfig
-from repro.disk.geometry import DiskGeometry
+from repro.disk.geometry import DiskGeometry, FlashGeometry
 from repro.torture.record import Recording, TortureRecorder
 
 WORKLOADS = ("smallfile", "largefile", "andrew", "checkpoint", "cleaning")
@@ -52,11 +52,28 @@ def _config(**overrides) -> LFSConfig:
 
 
 def _recorder(
-    workload: str, seed: int, *, num_blocks: int = _TORTURE_BLOCKS, **config_overrides
+    workload: str,
+    seed: int,
+    *,
+    num_blocks: int = _TORTURE_BLOCKS,
+    flash: bool = False,
+    **config_overrides,
 ) -> TortureRecorder:
+    if flash:
+        # Flash torture runs the whole flash stack: erase-block-aligned
+        # layout (32-block segments, 64-block erase blocks -> 2 segments
+        # per EB), hot/cold segregation, and the wear-leveling nudge —
+        # so crash points land inside TRIM/erase/cold-cursor machinery.
+        geometry: DiskGeometry = FlashGeometry.nand(
+            num_blocks=num_blocks, erase_block_blocks=64
+        )
+        config_overrides.setdefault("hot_cold_segregation", True)
+        config_overrides.setdefault("wear_leveling", True)
+    else:
+        geometry = DiskGeometry.wren4(num_blocks=num_blocks)
     return TortureRecorder(
         _config(**config_overrides),
-        DiskGeometry.wren4(num_blocks=num_blocks),
+        geometry,
         workload=workload,
         seed=seed,
     )
@@ -69,9 +86,9 @@ def _payload(rng: random.Random, size: int) -> bytes:
     return bytes((tag + i) % 256 for i in range(size))
 
 
-def record_smallfile(seed: int) -> Recording:
+def record_smallfile(seed: int, *, flash: bool = False) -> Recording:
     rng = random.Random(seed)
-    rec = _recorder("smallfile", seed)
+    rec = _recorder("smallfile", seed, flash=flash)
     dirs = []
     for i in range(4):
         path = f"/d{i}"
@@ -102,9 +119,9 @@ def record_smallfile(seed: int) -> Recording:
     return rec.finish()
 
 
-def record_largefile(seed: int) -> Recording:
+def record_largefile(seed: int, *, flash: bool = False) -> Recording:
     rng = random.Random(seed)
-    rec = _recorder("largefile", seed)
+    rec = _recorder("largefile", seed, flash=flash)
     path = "/big"
     rec.write(path, _payload(rng, 8192))
     size = 8192
@@ -126,9 +143,9 @@ def record_largefile(seed: int) -> Recording:
     return rec.finish()
 
 
-def record_andrew(seed: int) -> Recording:
+def record_andrew(seed: int, *, flash: bool = False) -> Recording:
     rng = random.Random(seed)
-    rec = _recorder("andrew", seed)
+    rec = _recorder("andrew", seed, flash=flash)
     rec.mkdir("/src")
     rec.mkdir("/src/lib")
     rec.mkdir("/src/cmd")
@@ -161,10 +178,10 @@ def record_andrew(seed: int) -> Recording:
     return rec.finish()
 
 
-def record_checkpoint(seed: int) -> Recording:
+def record_checkpoint(seed: int, *, flash: bool = False) -> Recording:
     """Checkpoint every 2–3 small ops: cuts land mid-checkpoint-write."""
     rng = random.Random(seed)
-    rec = _recorder("checkpoint", seed)
+    rec = _recorder("checkpoint", seed, flash=flash)
     rec.mkdir("/cp")
     since = 0
     for n in range(45):
@@ -176,7 +193,7 @@ def record_checkpoint(seed: int) -> Recording:
     return rec.finish()
 
 
-def record_cleaning(seed: int) -> Recording:
+def record_cleaning(seed: int, *, flash: bool = False) -> Recording:
     """Overwrite churn against low watermarks, crashing mid-cleaning.
 
     Runs on a deliberately tiny device (15 segments) so the overwrite
@@ -186,7 +203,8 @@ def record_cleaning(seed: int) -> Recording:
     """
     rng = random.Random(seed)
     rec = _recorder(
-        "cleaning", seed, num_blocks=512, clean_low_water=4, clean_high_water=7
+        "cleaning", seed, num_blocks=512, flash=flash,
+        clean_low_water=4, clean_high_water=7,
     )
     rec.mkdir("/churn")
     paths = [f"/churn/f{i}" for i in range(12)]
@@ -214,12 +232,17 @@ _RECORDERS = {
 }
 
 
-def record_workload(workload: str, seed: int) -> Recording:
-    """Run one named workload under recording; returns the bundle."""
+def record_workload(workload: str, seed: int, *, flash: bool = False) -> Recording:
+    """Run one named workload under recording; returns the bundle.
+
+    ``flash`` records the same operation script against the NAND profile
+    (erase-aware device, hot/cold segregation, wear leveling) instead of
+    the Wren IV.
+    """
     try:
         fn = _RECORDERS[workload]
     except KeyError:
         raise ValueError(
             f"unknown torture workload {workload!r} (want one of {WORKLOADS})"
         ) from None
-    return fn(seed)
+    return fn(seed, flash=flash)

@@ -104,23 +104,31 @@ def run_largefile(
     io_unit: int = 8192,
     cache_blocks: int | None = None,
     seed: int = 1234,
+    geometry: DiskGeometry | None = None,
+    config: LFSConfig | None = None,
     obs=None,
 ) -> LargeFileResult:
     """Run the Figure 9 benchmark on ``"lfs"`` or ``"ffs"``.
 
     The default cache is far smaller than the file, as on the paper's
     32 MB machine reading a 100 MB file, so reread phases hit the disk.
+    ``geometry``/``config`` (LFS only) substitute a different device —
+    e.g. :meth:`FlashGeometry.nand` — for what-if comparisons; the
+    geometry must keep the default 4096-byte blocks.
     """
     if file_size % io_unit:
         raise ValueError("file_size must be a multiple of io_unit")
     if system == "lfs":
         blocks_needed = (file_size // 4096) * 3 + 8192
-        geo = DiskGeometry.wren4(block_size=4096, num_blocks=max(81920, blocks_needed))
+        geo = geometry or DiskGeometry.wren4(
+            block_size=4096, num_blocks=max(81920, blocks_needed)
+        )
         disk = Disk(geo)
         cache = cache_blocks if cache_blocks is not None else 4096  # 16 MB
         fs = LFS.format(
             disk,
-            LFSConfig(
+            config
+            or LFSConfig(
                 segment_bytes=1024 * 1024,
                 checkpoint_interval=0,
                 cache_blocks=cache,

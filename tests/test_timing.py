@@ -1,8 +1,11 @@
 """Tests for the simulated clock and I/O statistics."""
 
+import math
+from dataclasses import fields
+
 import pytest
 
-from repro.disk.timing import BandwidthReport, IOStats, SimClock
+from repro.disk.timing import BandwidthReport, IOStats, RetryPolicy, SimClock
 
 
 class TestSimClock:
@@ -31,6 +34,15 @@ class TestSimClock:
         assert clock.now == 10.0
         clock.advance_to(12.0)
         assert clock.now == 12.0
+
+    def test_advance_to_nan_rejected(self):
+        # NaN compares false against everything, so without an explicit
+        # check it would silently pass the monotonicity guard and poison
+        # every later timestamp.
+        clock = SimClock(1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(math.nan)
+        assert clock.now == 1.0
 
     def test_repr(self):
         assert "SimClock" in repr(SimClock())
@@ -64,6 +76,20 @@ class TestIOStats:
         assert stats.utilization(0.5) == 1.0  # clamped
         assert stats.utilization(0.0) == 0.0
 
+    def test_snapshot_and_delta_cover_every_field(self):
+        # Regression guard for the silent-field-drop bug: snapshot() and
+        # delta() are built from dataclasses.fields(), so a counter added
+        # to IOStats can never again be quietly lost by either.
+        stats = IOStats()
+        for i, f in enumerate(fields(IOStats), start=1):
+            setattr(stats, f.name, float(i) if f.type == "float" else i)
+        snap = stats.snapshot()
+        for f in fields(IOStats):
+            assert getattr(snap, f.name) == getattr(stats, f.name), f.name
+        delta = stats.delta(IOStats())
+        for f in fields(IOStats):
+            assert getattr(delta, f.name) == getattr(stats, f.name), f.name
+
     def test_raw_utilization_is_unclamped(self):
         stats = IOStats(busy_time=1.0)
         assert stats.raw_utilization(4.0) == pytest.approx(0.25)
@@ -71,6 +97,28 @@ class TestIOStats:
         assert stats.raw_utilization(0.5) == pytest.approx(2.0)
         assert stats.raw_utilization(0.0) == 0.0
         assert stats.utilization(0.5) == 1.0  # display value stays clamped
+
+
+class TestRetryPolicy:
+    def test_exact_backoff_sequence(self):
+        # Pins the documented schedule: re-attempt n (attempts numbered
+        # from 1) waits backoff * multiplier**(n - 2), so the first retry
+        # waits exactly ``backoff``.
+        policy = RetryPolicy(attempts=5, backoff=0.005, multiplier=2.0)
+        waits = [policy.backoff_before(n) for n in (2, 3, 4, 5)]
+        assert waits == pytest.approx([0.005, 0.010, 0.020, 0.040])
+
+    def test_first_retry_waits_backoff_for_any_multiplier(self):
+        policy = RetryPolicy(attempts=3, backoff=0.007, multiplier=10.0)
+        assert policy.backoff_before(2) == pytest.approx(0.007)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.0)
 
 
 class TestBandwidthReport:
