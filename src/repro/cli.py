@@ -500,7 +500,13 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
     fs = obs._fs
 
-    report = build_report(obs, fs, ledger, name=args.workload)
+    report = build_report(
+        obs,
+        fs,
+        ledger,
+        name=args.workload,
+        sections=("flash",) if args.flash else (),
+    )
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump(report, fh, indent=2)
@@ -522,12 +528,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         think_seconds=args.think,
         seed=args.seed,
+        sync_writes=args.sync_writes,
     )
     config = ServerConfig(
         workload=workload,
         policy=args.policy,
         quantum=args.quantum,
         cleaner=not args.no_cleaner,
+        nvram=args.nvram,
     )
     t0 = time.perf_counter()
     result = run_server(config, watchdog=args.watchdog)
@@ -615,6 +623,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
         exhaustive=args.exhaustive,
         watchdog=args.watchdog,
         flash=args.flash,
+        nvram=args.nvram,
     )
 
     per_variant: dict[str, dict[str, float]] = {}
@@ -686,6 +695,7 @@ def cmd_torture(args: argparse.Namespace) -> int:
                 "total_blocks": result.total_blocks,
                 "variants": list(variants),
                 "flash": args.flash,
+                "nvram": args.nvram,
                 "violations": result.violation_count,
                 "mean_recovery_seconds": round(result.mean_recovery_seconds, 6),
                 "outcome_digest": result.outcome_digest,
@@ -875,6 +885,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bench-name", default="torture", help="bench name used in the JSON record")
     p.add_argument("--watchdog", action="store_true", help="run every point under the segment ledger + invariant watchdog (raises on any broken invariant; outcomes unchanged otherwise)")
     p.add_argument("--flash", action="store_true", help="record the workload on the NAND flash profile (erase-aware device, hot/cold segregation, wear leveling) instead of the Wren IV")
+    p.add_argument("--nvram", action="store_true", help="record with the NVM staging board attached: crash cuts enumerate interleaved disk/NVM durable prefixes, and the nvm-media / nvm-dead variants become available")
     p.set_defaults(func=cmd_torture)
 
     p = sub.add_parser(
@@ -936,6 +947,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="fifo", choices=("fifo", "drr"), help="admission policy")
     p.add_argument("--quantum", type=float, default=8.0, help="DRR quantum in cost units (KB)")
     p.add_argument("--no-cleaner", action="store_true", help="disable background cleaner passes (emergency cleaning only)")
+    p.add_argument("--sync-writes", action="store_true", help="commit every mutating request with a per-handle fsync (mail-server pattern)")
+    p.add_argument("--nvram", action="store_true", help="attach an NVM staging board so those fsyncs are absorbed as staging appends")
     p.add_argument("--seed", type=int, default=42, help="workload seed")
     p.add_argument("--watchdog", action="store_true", help="attach the segment ledger + invariant watchdog")
     p.add_argument("--json-out", default=None, help="write the full result as JSON to this path")

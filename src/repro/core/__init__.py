@@ -23,6 +23,9 @@ from repro.core.errors import (
     NoSpaceError,
     NotADirectoryError_,
     NotMountedError,
+    NVMDeviceFailedError,
+    NVMError,
+    NVMTornRecordError,
     ReadOnlyError,
     TrimmedBlockError,
 )
@@ -43,6 +46,9 @@ __all__ = [
     "LFSConfig",
     "LFSError",
     "MediaError",
+    "NVMDeviceFailedError",
+    "NVMError",
+    "NVMTornRecordError",
     "NoSpaceError",
     "NotADirectoryError_",
     "NotMountedError",

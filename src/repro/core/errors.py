@@ -90,6 +90,26 @@ class ReadOnlyError(LFSError):
     """The file system degraded to read-only mode (media error budget hit)."""
 
 
+class NVMError(MediaError):
+    """The NVM staging device failed a request.
+
+    The second persistence domain gets its own error family, parallel to
+    the disk's :class:`MediaError` tree: ``addr`` localizes the failure
+    to a byte offset in the staging log and ``op`` names the request
+    (``append``/``read``/``truncate``). Subclassing :class:`MediaError`
+    keeps the degraded-path contract uniform — every detected loss is a
+    typed error, never silent wrong bytes.
+    """
+
+
+class NVMTornRecordError(NVMError):
+    """A staged NVM record failed its CRC frame (torn by a power cut)."""
+
+
+class NVMDeviceFailedError(NVMError):
+    """The whole NVM device is gone; staging must fall back to the log."""
+
+
 __all__ = [
     "LFSError",
     "DiskRangeError",
@@ -106,4 +126,7 @@ __all__ = [
     "MediaError",
     "TrimmedBlockError",
     "ReadOnlyError",
+    "NVMError",
+    "NVMTornRecordError",
+    "NVMDeviceFailedError",
 ]

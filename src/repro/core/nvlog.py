@@ -1,0 +1,159 @@
+"""NVM staging-record bodies: the write-ahead format for sync absorption.
+
+One :class:`~repro.disk.nvram.NVMDevice` record is appended per
+``sync()``/``fsync()`` that the staging log absorbs; the device's CRC
+frame is the atomicity unit, and this module defines what goes inside.
+A body is a sequence of typed entries, applied in order on replay:
+
+- **DIROP** — one :class:`~repro.core.dirlog.DirOpRecord` plus the file
+  type of the inode it names. Directory data blocks are *not* staged:
+  the operation records fully determine the namespace, and replay
+  re-executes them through the live directory-insert/remove paths (which
+  regenerate the directory blocks dirty in cache). The file type is
+  carried because replay may have to *materialize* an inode that never
+  reached the on-disk log — a CREATE staged to NVM has no durable inode
+  to consult — and a directory materializes with an empty entry table
+  while a regular file does not.
+- **PATCH** — a byte-range delta against one file: inode number, byte
+  offset, payload. Patches carry exactly the bytes the application wrote
+  since the previous record, not whole blocks, so repeated small
+  synchronous writes stage a few hundred bytes instead of re-staging a
+  4 KiB block each time (the difference between fitting under the NVM
+  bandwidth bound and blowing through it).
+- **META** — a file's size and mtime at staging time. Replay applies it
+  after the record's patches; a shrink replays as an internal truncate.
+
+Entries never span records, and a record's entries apply strictly in the
+order staged: directory operations first (they may materialize the inodes
+the patches target), then patches, then metas.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.constants import FileType
+from repro.core.dirlog import DirOpRecord
+from repro.core.errors import CorruptionError
+
+# Entry tags. A body is a concatenation of tagged entries; parsing stops
+# exactly at the end of the body (the device frame already carries the
+# length and CRC, so there is no per-body trailer).
+_TAG_DIROP = 0x01
+_TAG_PATCH = 0x02
+_TAG_META = 0x03
+
+_DIROP_HEAD = struct.Struct("<BBI")  # tag, ftype, packed dirop length
+_PATCH_HEAD = struct.Struct("<BQQI")  # tag, inum, byte offset, length
+_META_HEAD = struct.Struct("<BQQd")  # tag, inum, size, mtime
+
+
+@dataclass(frozen=True)
+class NVDirOp:
+    """A staged directory operation plus the named inode's file type."""
+
+    record: DirOpRecord
+    ftype: FileType = FileType.REGULAR
+
+
+@dataclass(frozen=True)
+class NVPatch:
+    """A staged byte-range delta (never spans a file-system block)."""
+
+    inum: int
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class NVMeta:
+    """A file's staged size and mtime."""
+
+    inum: int
+    size: int
+    mtime: float
+
+
+def pack_body(
+    dirops: list[NVDirOp], patches: list[NVPatch], metas: list[NVMeta]
+) -> bytes:
+    """Serialize one record body (dirops, then patches, then metas)."""
+    parts: list[bytes] = []
+    for op in dirops:
+        raw = op.record.pack()
+        parts.append(_DIROP_HEAD.pack(_TAG_DIROP, int(op.ftype), len(raw)))
+        parts.append(raw)
+    for patch in patches:
+        parts.append(
+            _PATCH_HEAD.pack(_TAG_PATCH, patch.inum, patch.offset, len(patch.data))
+        )
+        parts.append(patch.data)
+    for meta in metas:
+        parts.append(_META_HEAD.pack(_TAG_META, meta.inum, meta.size, meta.mtime))
+    return b"".join(parts)
+
+
+def unpack_body(body: bytes) -> tuple[list[NVDirOp], list[NVPatch], list[NVMeta]]:
+    """Parse one record body back into its typed entries.
+
+    Raises :class:`CorruptionError` on a malformed body — the device
+    frame's CRC already vouched for the bytes, so a parse failure here
+    means a format bug, not media damage, and must be loud.
+    """
+    dirops: list[NVDirOp] = []
+    patches: list[NVPatch] = []
+    metas: list[NVMeta] = []
+    pos = 0
+    end = len(body)
+    while pos < end:
+        tag = body[pos]
+        if tag == _TAG_DIROP:
+            if pos + _DIROP_HEAD.size > end:
+                raise CorruptionError("NVM record: truncated dirop header")
+            _, ftype_raw, length = _DIROP_HEAD.unpack_from(body, pos)
+            pos += _DIROP_HEAD.size
+            if pos + length > end:
+                raise CorruptionError("NVM record: truncated dirop payload")
+            record, consumed = DirOpRecord.unpack_from(body[pos : pos + length], 0)
+            if consumed != length:
+                raise CorruptionError("NVM record: dirop length mismatch")
+            try:
+                ftype = FileType(ftype_raw)
+            except ValueError as exc:
+                raise CorruptionError(
+                    f"NVM record: bad file type {ftype_raw}"
+                ) from exc
+            dirops.append(NVDirOp(record=record, ftype=ftype))
+            pos += length
+        elif tag == _TAG_PATCH:
+            if pos + _PATCH_HEAD.size > end:
+                raise CorruptionError("NVM record: truncated patch header")
+            _, inum, offset, length = _PATCH_HEAD.unpack_from(body, pos)
+            pos += _PATCH_HEAD.size
+            if pos + length > end:
+                raise CorruptionError("NVM record: truncated patch payload")
+            patches.append(NVPatch(inum=inum, offset=offset, data=body[pos : pos + length]))
+            pos += length
+        elif tag == _TAG_META:
+            if pos + _META_HEAD.size > end:
+                raise CorruptionError("NVM record: truncated meta entry")
+            _, inum, size, mtime = _META_HEAD.unpack_from(body, pos)
+            metas.append(NVMeta(inum=inum, size=size, mtime=mtime))
+            pos += _META_HEAD.size
+        else:
+            raise CorruptionError(f"NVM record: unknown entry tag {tag:#x}")
+    return dirops, patches, metas
+
+
+def body_size(
+    dirops: list[NVDirOp], patches: list[NVPatch], metas: list[NVMeta]
+) -> int:
+    """Exact serialized size of a body without building it."""
+    total = 0
+    for op in dirops:
+        total += _DIROP_HEAD.size + len(op.record.pack())
+    for patch in patches:
+        total += _PATCH_HEAD.size + len(patch.data)
+    total += _META_HEAD.size * len(metas)
+    return total

@@ -223,8 +223,21 @@ class LogWriter:
     # ------------------------------------------------------------------
     # writing
 
-    def append(self, items: list[LogItem], *, cleaning: bool = False) -> int:
+    def append(
+        self,
+        items: list[LogItem],
+        *,
+        cleaning: bool = False,
+        barrier: bool = False,
+    ) -> int:
         """Write ``items`` to the log in order; returns partial writes issued.
+
+        ``barrier`` charges the *first* partial write's request half a
+        rotation of positioning latency even when it lands sequentially:
+        a synchronous flush (fsync with no NVM staging) was issued in
+        isolation, so the platter has turned past the head since the
+        previous request. Subsequent partial writes of the same flush
+        stream back-to-back as usual.
 
         Items are chunked into partial writes bounded by the space left in
         the current segment and by summary capacity. For each partial
@@ -292,7 +305,11 @@ class LogWriter:
             for i, entry in enumerate(summary.entries):
                 self.block_crcs[start_addr + 1 + i] = entry.block_crc
 
-            self.disk.write_blocks(start_addr, [summary_block] + payloads)
+            self.disk.write_blocks(
+                start_addr,
+                [summary_block] + payloads,
+                force_latency=barrier and writes == 0,
+            )
             self.usage.add_live(segment, 0, now)  # stamp write time
             obs = self.disk.obs
             if obs is not None:

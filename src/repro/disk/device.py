@@ -444,7 +444,9 @@ class Disk:
             raise
         self._store(addr, payload)
 
-    def write_blocks(self, addr: int, blocks: Sequence[bytes]) -> None:
+    def write_blocks(
+        self, addr: int, blocks: Sequence[bytes], *, force_latency: bool = False
+    ) -> None:
         """Write contiguous blocks as one streamed request.
 
         Under crash injection the request may persist a durable *prefix*
@@ -453,6 +455,8 @@ class Disk:
         queued blocks persist in a seeded order instead, so the durable
         part is an arbitrary subset; in ``torn`` mode the dying block
         keeps a partial payload.
+
+        See :meth:`read_block` for ``force_latency``.
         """
         if not blocks:
             raise DiskRangeError("empty multi-block write")
@@ -460,7 +464,7 @@ class Disk:
         payloads = [self._check_payload(b) for b in blocks]
         self._media_check(addr, len(payloads), "write")
         self._flash_prepare(addr, len(payloads))
-        self._account(addr, len(payloads), write=True)
+        self._account(addr, len(payloads), write=True, force_latency=force_latency)
         for i in self.faults.request_order(len(payloads)):
             self._persist(addr + i, payloads[i])
 

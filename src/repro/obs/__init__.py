@@ -35,6 +35,8 @@ from repro.obs.attribution import (
     CLEANING_READ,
     CLEANING_WRITE,
     DATA_WRITE,
+    NVM_DESTAGE,
+    NVM_STAGE,
     SYSTEM_TENANT,
     TimeAttribution,
 )
@@ -74,6 +76,8 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "NVM_DESTAGE",
+    "NVM_STAGE",
     "NullTracer",
     "Observation",
     "SYSTEM_TENANT",

@@ -36,8 +36,21 @@ CLEANING_READ = "cleaning_read"
 CLEANING_WRITE = "cleaning_write"
 CHECKPOINT = "checkpoint"
 APPLICATION_READ = "application_read"
+#: Time the NVM staging board spent absorbing sync records (the second
+#: persistence domain's busy time; attribution totals span both devices).
+NVM_STAGE = "nvm_stage"
+#: Disk time spent destaging NVM-covered data to the log in batches.
+NVM_DESTAGE = "nvm_destage"
 
-CAUSES = (DATA_WRITE, CLEANING_READ, CLEANING_WRITE, CHECKPOINT, APPLICATION_READ)
+CAUSES = (
+    DATA_WRITE,
+    CLEANING_READ,
+    CLEANING_WRITE,
+    CHECKPOINT,
+    APPLICATION_READ,
+    NVM_STAGE,
+    NVM_DESTAGE,
+)
 
 #: Reserved tenant id for background work the event loop runs on its own
 #: authority (scheduled cleaner passes, timed checkpoints) rather than on

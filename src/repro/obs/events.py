@@ -30,6 +30,10 @@ kind               fields
 ``server.done``    ``client, tenant, op, latency, service``
 ``flash.erase``    ``block, start, blocks, count, reason``
 ``flash.trim``     ``segment, start, blocks, erased``
+``fs.sync``        ``staged, bytes, unstaged_dirty``
+``nvm.append``     ``seq, bytes, records, used, elapsed``
+``nvm.truncate``   ``records, bytes, uncovered``
+``nvm.fail``       ``reason``
 =================  ====================================================
 
 Events emitted while a tenant attribution scope is open additionally
@@ -79,6 +83,15 @@ SERVER_DONE = "server.done"
 # for an erase-ahead triggered by TRIM); the FS trimmed a dead segment.
 FLASH_ERASE = "flash.erase"
 FLASH_TRIM = "flash.trim"
+# NVM staging lifecycle: a sync/fsync was acknowledged (``staged`` says
+# whether it was absorbed into the NVM log or flushed synchronously;
+# ``unstaged_dirty`` must be 0 — the acked-sync-durable invariant); the
+# staging device accepted a framed record; the FS truncated the staging
+# log after a covering flush (``uncovered`` must be 0); the device died.
+FS_SYNC = "fs.sync"
+NVM_APPEND = "nvm.append"
+NVM_TRUNCATE = "nvm.truncate"
+NVM_FAIL = "nvm.fail"
 
 #: Version of the trace JSONL on-disk format. Bumped whenever the header,
 #: trailer, or event line shape changes incompatibly. Schema 1 traces had
@@ -109,6 +122,10 @@ EVENT_KINDS = (
     SERVER_DONE,
     FLASH_ERASE,
     FLASH_TRIM,
+    FS_SYNC,
+    NVM_APPEND,
+    NVM_TRUNCATE,
+    NVM_FAIL,
 )
 
 

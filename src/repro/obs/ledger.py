@@ -34,6 +34,8 @@ from repro.obs.events import (
     FLASH_TRIM,
     LOG_SEGMENT_OPEN,
     LOG_WRITE,
+    NVM_APPEND,
+    NVM_TRUNCATE,
     Event,
 )
 
@@ -96,6 +98,16 @@ class SegmentLedger:
         self.erases_by_reason: dict[str, int] = {}
         self.trim_events = 0
         self.trim_blocks = 0
+        # NVM staging lifecycle totals (all zero without the board).
+        # Conservation view for the watchdog/report: every record that
+        # enters the staging log (append) must leave it via exactly one
+        # truncate after a covering disk flush — destaged can never
+        # exceed staged, and at quiesce the two agree.
+        self.nvm_appends = 0
+        self.nvm_bytes_staged = 0
+        self.nvm_truncates = 0
+        self.nvm_records_destaged = 0
+        self.nvm_peak_used = 0
         #: most recent closed life per segment, for TRIM annotation
         self._last_closed: dict[int, SegmentLife] = {}
 
@@ -166,6 +178,13 @@ class SegmentLedger:
             life = self._last_closed.get(event.fields["segment"])
             if life is not None:
                 life.trimmed = True
+        elif kind == NVM_APPEND:
+            self.nvm_appends += 1
+            self.nvm_bytes_staged += event.fields.get("bytes", 0)
+            self.nvm_peak_used = max(self.nvm_peak_used, event.fields.get("used", 0))
+        elif kind == NVM_TRUNCATE:
+            self.nvm_truncates += 1
+            self.nvm_records_destaged += event.fields.get("records", 0)
 
     def _open_life(self, event: Event) -> None:
         seg_no = event.fields["segment"]
@@ -300,5 +319,14 @@ class SegmentLedger:
                 "trim_blocks": self.trim_blocks,
                 "lives_cold": sum(1 for l in all_lives if l.cold),
                 "lives_trimmed": sum(1 for l in self.history if l.trimmed),
+            }
+        if self.nvm_appends or self.nvm_truncates:
+            out["nvm"] = {
+                "appends": self.nvm_appends,
+                "bytes_staged": self.nvm_bytes_staged,
+                "truncates": self.nvm_truncates,
+                "records_destaged": self.nvm_records_destaged,
+                "records_in_flight": self.nvm_appends - self.nvm_records_destaged,
+                "peak_used_bytes": self.nvm_peak_used,
             }
         return out

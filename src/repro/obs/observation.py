@@ -26,7 +26,7 @@ unaffected.
 
 from __future__ import annotations
 
-from repro.obs.attribution import TimeAttribution
+from repro.obs.attribution import NVM_STAGE, TimeAttribution
 from repro.obs.events import DISK_READ, DISK_WRITE
 from repro.obs.histogram import LatencyHistogram
 from repro.obs.registry import MetricsRegistry
@@ -79,6 +79,10 @@ class Observation:
         self.attach_disk(fs.disk)
         fs.obs = self
         fs.cache.obs = self
+        nvram = getattr(fs, "nvram", None)
+        if nvram is not None:
+            nvram.obs = self
+            self.registry.register("nvm", lambda n=nvram: n.stats)
         self.registry.register("cache", fs.cache)
         if hasattr(fs, "writer"):  # Sprite LFS
             self.registry.register("lfs", fs.stats)
@@ -154,6 +158,23 @@ class Observation:
             now,
             cause=self.attribution.current_cause(write=write),
             **fields,
+        )
+
+    def on_nvm_io(self, now: float, nbytes: int, elapsed: float) -> None:
+        """Per-append NVM hook: charge staging time to the nvm cause.
+
+        The staging board is a second device, so its busy seconds join
+        the same attribution pool — the watchdog's sums-to-busy check
+        compares against disk *plus* NVM busy time.
+        """
+        att = self.attribution
+        att.seconds[NVM_STAGE] = att.seconds.get(NVM_STAGE, 0.0) + elapsed
+        if att._tenant_stack:
+            row = att.tenant_seconds.setdefault(att._tenant_stack[-1], {})
+            row[NVM_STAGE] = row.get(NVM_STAGE, 0.0) + elapsed
+        assert att.total <= now + 1e-9, (
+            f"attributed busy-time {att.total:.9f}s exceeds simulated "
+            f"elapsed time {now:.9f}s (double-charged NVM I/O?)"
         )
 
     def emit(self, kind: str, **fields) -> None:

@@ -35,6 +35,13 @@ METRIC_DIRECTIONS = {
     "mean_recovery_seconds": -1,
     "write_cost": -1,
     "wear_spread": -1,
+    # Small-synchronous-write benchmark (BENCH_nvram_sync.json): commits
+    # per simulated second with NVM staging, its ratio over the no-NVM
+    # baseline, and how close staging runs to the NVM bandwidth bound
+    # (simulated-time ratios — deterministic, so gating is noise-free).
+    "sync_throughput": +1,
+    "speedup": +1,
+    "bound_ratio": -1,
 }
 
 #: Metrics whose values are wall-clock dependent: machine noise, not
@@ -47,7 +54,18 @@ PERF_METRICS = frozenset({"steps_per_sec", "wall_seconds", "mean_recovery_second
 # run reports
 
 
-def build_report(obs, fs=None, ledger=None, *, name: str = "run", latency=None) -> dict:
+#: Section keys a caller may explicitly request (``sections=``) and the
+#: human titles render_report uses when saying one is not enabled.
+SECTION_TITLES = {
+    "flash": "flash wear and TRIM",
+    "nvm": "NVM staging",
+    "latency": "latency percentiles",
+}
+
+
+def build_report(
+    obs, fs=None, ledger=None, *, name: str = "run", latency=None, sections=()
+) -> dict:
     """One run's observatory summary as a JSON-serializable dict.
 
     ``latency`` is an optional ``{name: LatencyHistogram}`` mapping; when
@@ -56,6 +74,12 @@ def build_report(obs, fs=None, ledger=None, *, name: str = "run", latency=None) 
     report then gains a ``latency`` section with p50/p95/p99/p999 + max
     per histogram. The tenant x cause busy-time matrix rides along in
     the attribution section whenever tenant scopes charged any time.
+
+    ``sections`` names report sections the *user asked for* (e.g.
+    ``("flash",)`` for ``repro report --flash``). A requested section
+    whose source never registered this run is recorded as ``None`` so
+    :func:`render_report` can say "not enabled for this run" explicitly
+    instead of silently omitting it or rendering an empty table.
     """
     report: dict = {
         "schema": REPORT_SCHEMA,
@@ -90,6 +114,8 @@ def build_report(obs, fs=None, ledger=None, *, name: str = "run", latency=None) 
         report["io"] = scrape(obs.registry.source("io"))
     if "flash" in obs.registry.names():
         report["flash"] = scrape(obs.registry.source("flash"))
+    if "nvm" in obs.registry.names():
+        report["nvm"] = scrape(obs.registry.source("nvm"))
     if fs is not None:
         fs_section: dict = {}
         if hasattr(fs, "write_cost"):
@@ -116,6 +142,9 @@ def build_report(obs, fs=None, ledger=None, *, name: str = "run", latency=None) 
         report["ledger"] = ledger.stats()
         report["table2"] = ledger.table2_summary()
         report["figure6_distribution"] = ledger.figure6_distribution()
+    for section in sections:
+        if not report.get(section):
+            report[section] = None  # requested, but nothing ran under it
     return report
 
 
@@ -210,6 +239,23 @@ def render_report(report: dict) -> str:
                              ", ".join(f"{k}={v}" for k, v in sorted(reasons.items()))])
         lines.append(render_table(["metric", "value"], rows,
                                   title="flash wear and TRIM"))
+
+    nvm = report.get("nvm")
+    if nvm:
+        rows = [[k.replace("_", " "), str(v)] for k, v in sorted(nvm.items())]
+        nvm_ledger = (report.get("ledger") or {}).get("nvm")
+        if nvm_ledger:
+            for key in ("records_in_flight", "peak_used_bytes"):
+                if key in nvm_ledger:
+                    rows.append([key.replace("_", " "), str(nvm_ledger[key])])
+        lines.append(render_table(["metric", "value"], rows,
+                                  title="NVM staging"))
+
+    for section, title in SECTION_TITLES.items():
+        # Requested sections build_report nulled out: say so explicitly
+        # rather than silently omitting the table the user asked for.
+        if section in report and report[section] is None:
+            lines.append(f"{title}: not enabled for this run")
 
     ledger = report.get("ledger")
     if ledger:

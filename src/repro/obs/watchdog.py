@@ -36,7 +36,16 @@ the invariant and carrying the offending event):
 - **trim-covers-no-live** — a ``flash.trim`` only ever covers a segment
   the usage table (and the ledger mirror) holds at zero live bytes;
 - **erase-conservation** — the per-erase-block wear ledger's total
-  grows in lockstep with the device's ``erases`` counter.
+  grows in lockstep with the device's ``erases`` counter;
+- **acked-sync-durable** — every acknowledged ``fs.sync`` left zero
+  dirty state that is neither staged in NVM nor flushed to the log
+  (the ack really is a durability promise);
+- **nvm-truncate-covered-by-disk** — the NVM staging log is only ever
+  truncated when no covered state remains dirty (the flush that
+  justified the truncate really happened);
+- **destage-conservation** — every record appended to the NVM log since
+  the last truncate is accounted for by the next truncate (records
+  never vanish from the staging log without a destage).
 """
 
 from __future__ import annotations
@@ -49,8 +58,11 @@ from repro.obs.events import (
     DISK_READ,
     DISK_WRITE,
     FLASH_TRIM,
+    FS_SYNC,
     LOG_SEGMENT_OPEN,
     LOG_WRITE,
+    NVM_APPEND,
+    NVM_TRUNCATE,
     Event,
 )
 
@@ -96,6 +108,10 @@ class Watchdog:
         # (wear-ledger total, device erases) at first sight; both grow
         # together from there or the wear accounting leaks.
         self._erase_baseline: tuple[int, int] | None = None
+        # NVM appends counted since the last truncate; None until the
+        # first truncate establishes a known-empty staging log (records
+        # staged before this watchdog attached are otherwise uncountable).
+        self._nvm_counted: int | None = None
 
     def install(self, obs) -> "Watchdog":
         """Subscribe to an :class:`~repro.obs.observation.Observation`."""
@@ -113,6 +129,10 @@ class Watchdog:
     def _effective_busy(self) -> float:
         io = self._obs.registry.source("io")
         busy = io.busy_time
+        if "nvm" in self._obs.registry.names():
+            # The staging board is a second device; attribution covers
+            # the busy time of both persistence domains.
+            busy += self._obs.registry.source("nvm").busy_time
         if self._busy_baseline is None:
             # First sight of the device: any busy time it accrued beyond
             # what this observation attributed predates the attach.
@@ -141,6 +161,13 @@ class Watchdog:
             self.quarantined.add(event.fields["segment"])
         if kind == FLASH_TRIM:
             self._check_trim_dead(event)
+        if kind == FS_SYNC:
+            self._check_sync_durable(event)
+        if kind == NVM_APPEND:
+            if self._nvm_counted is not None:
+                self._nvm_counted += 1
+        if kind == NVM_TRUNCATE:
+            self._check_nvm_truncate(event)
         if kind in _LIFECYCLE_KINDS:
             self._check_ledger_totals(event)
             self._check_cleaner_conservation(event)
@@ -288,6 +315,37 @@ class Watchdog:
                 f"{self.ledger.live_bytes_of(seg_no)} live bytes",
                 event,
             )
+
+    def _check_sync_durable(self, event: Event) -> None:
+        self.checks_run += 1
+        unstaged = event.fields.get("unstaged_dirty", 0)
+        if unstaged != 0:
+            raise InvariantViolation(
+                "acked-sync-durable",
+                f"sync acknowledged with {unstaged} dirty blocks neither "
+                f"staged in NVM nor flushed to the log",
+                event,
+            )
+
+    def _check_nvm_truncate(self, event: Event) -> None:
+        self.checks_run += 1
+        uncovered = event.fields.get("uncovered", 0)
+        if uncovered != 0:
+            raise InvariantViolation(
+                "nvm-truncate-covered-by-disk",
+                f"NVM log truncated while {uncovered} covered blocks are "
+                f"still dirty (not yet durable in the on-disk log)",
+                event,
+            )
+        dropped = event.fields.get("records", 0)
+        if self._nvm_counted is not None and dropped != self._nvm_counted:
+            raise InvariantViolation(
+                "destage-conservation",
+                f"NVM truncate dropped {dropped} records but "
+                f"{self._nvm_counted} were appended since the last truncate",
+                event,
+            )
+        self._nvm_counted = 0
 
     def _check_erase_conservation(self, event: Event) -> None:
         if self._obs is None:

@@ -90,6 +90,10 @@ class WorkloadConfig:
     #: top of its round-robin share — the asymmetric load that separates
     #: FIFO from DRR (0.0 = symmetric tenants)
     heavy_fraction: float = 0.0
+    #: commit every mutating request with a per-handle ``fsync`` before
+    #: completion — the mail-server/database pattern (paper §5.1); pair
+    #: with NVM staging to measure what the board buys under real load
+    sync_writes: bool = False
 
     def __post_init__(self) -> None:
         if self.clients < 1:

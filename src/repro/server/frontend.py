@@ -77,6 +77,10 @@ class ServerConfig:
     #: device capacity as a multiple of the expected write volume; small
     #: enough that the log wraps and the cleaner has real work.
     disk_headroom: float = 1.6
+    #: attach an NVM staging board (default profile) so per-handle
+    #: fsyncs are absorbed as staging-log appends instead of forcing a
+    #: partial-segment flush per commit
+    nvram: bool = False
 
     def geometry(self) -> DiskGeometry:
         w = self.workload
@@ -172,6 +176,7 @@ class FileServer:
         generator: LoadGenerator,
         *,
         cpu_op_seconds: float = 0.002,
+        sync_writes: bool = False,
     ) -> None:
         self.vfs = vfs
         self.fs = vfs.fs
@@ -181,6 +186,7 @@ class FileServer:
         self.obs = obs
         self.generator = generator
         self.cpu_op_seconds = cpu_op_seconds
+        self.sync_writes = sync_writes
         self.completed = 0
         self.failed = 0
         #: optional hook fired after every request completes (run_server
@@ -260,18 +266,28 @@ class FileServer:
         path = tenant.path(request.path)
         payload = b"x" * request.size if request.size else b""
         self.fs.disk.clock.advance(self.cpu_op_seconds)
+        # Per-handle commit inside the tenant's attribution scope, so
+        # staging (or the forced partial flush without NVM) is charged
+        # to the tenant whose request demanded the durability.
+        commit = self.sync_writes
         if request.op == "create":
             self._ensure_dirs(tenant.prefix, request.path)
             with self.vfs.open(path, "w") as fh:
                 fh.write(payload)
+                if commit:
+                    fh.fsync()
             tenant.stats.bytes_written += len(payload)
         elif request.op == "write":
             with self.vfs.open(path, "r+") as fh:
                 fh.write(payload)
+                if commit:
+                    fh.fsync()
             tenant.stats.bytes_written += len(payload)
         elif request.op == "append":
             with self.vfs.open(path, "a") as fh:
                 fh.write(payload)
+                if commit:
+                    fh.fsync()
             tenant.stats.bytes_written += len(payload)
         elif request.op == "read":
             with self.vfs.open(path, "r") as fh:
@@ -335,7 +351,12 @@ def run_server(
         ledger = SegmentLedger()
         ledger.install(obs)
         Watchdog(ledger=ledger).install(obs)
-    fs = LFS.format(disk, config.fs_config(), obs=obs)
+    nvm = None
+    if config.nvram:
+        from repro.disk.nvram import NVMDevice
+
+        nvm = NVMDevice(clock=disk.clock)
+    fs = LFS.format(disk, config.fs_config(), obs=obs, nvram=nvm)
     vfs = FileSystemView(fs)
     loop = EventLoop(disk.clock)
 
@@ -353,6 +374,7 @@ def run_server(
     server = FileServer(
         vfs, loop, registry, queue, obs, generator,
         cpu_op_seconds=config.cpu_op_seconds,
+        sync_writes=w.sync_writes,
     )
 
     expected = sum(c.budget for c in generator.clients)

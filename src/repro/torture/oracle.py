@@ -44,7 +44,7 @@ class OpRecord:
     not issued its first write yet).
     """
 
-    kind: str  # mkdir | write | append | update | unlink | rename | link | sync | checkpoint | clean
+    kind: str  # mkdir | write | append | update | unlink | rename | link | sync | fsync | checkpoint | clean
     path: str = ""
     path2: str = ""
     data: bytes = b""
@@ -150,7 +150,7 @@ class ModelFS:
         if kind == "link":
             self.paths[op.path2] = self.paths[op.path]
             return [op.path2]
-        if kind in ("sync", "checkpoint", "clean"):
+        if kind in ("sync", "fsync", "checkpoint", "clean"):
             return []
         raise ValueError(f"unknown op kind {kind!r}")
 

@@ -13,6 +13,16 @@ durability oracle: each file-system call is mirrored into a
 :class:`~repro.torture.oracle.ModelFS`, tagged with the block-write count
 at which it started, and every completed ``sync``/``checkpoint`` snapshots
 the model as a durability barrier.
+
+With ``nvram=True`` the recorder captures a *second* write stream: every
+NVM staging-log append (the framed record bytes, tagged with the disk
+block count at which it happened) and every truncate (tagged the same
+way, with the cumulative append count it wiped). Crash points are then
+expressed in **global units** — one unit per durable disk block *or* NVM
+append, merged in issue order — so a single cut enumerates every
+interleaving of the two domains' durable prefixes. For recordings without
+NVM the global unit count equals the disk block count, so existing
+recordings, oracles, and digests are bit-identical.
 """
 
 from __future__ import annotations
@@ -47,8 +57,8 @@ class RecordingDisk(Disk):
             self.requests.append((addr, (self.peek(addr),)))
             self.blocks_logged += 1
 
-    def write_blocks(self, addr: int, blocks) -> None:
-        super().write_blocks(addr, blocks)
+    def write_blocks(self, addr: int, blocks, *, force_latency: bool = False) -> None:
+        super().write_blocks(addr, blocks, force_latency=force_latency)
         if self.recording:
             payloads = tuple(self.peek(addr + i) for i in range(len(blocks)))
             self.requests.append((addr, payloads))
@@ -76,6 +86,20 @@ class Recording:
     barriers: list[Barrier] = field(default_factory=list)
     workload: str = ""
     seed: int = 0
+    #: Two-domain recordings only. ``nvm_appends`` is the staging-log
+    #: write stream: ``(disk_blocks_at_append, framed_record_bytes)`` in
+    #: append order. ``nvm_truncates`` marks each staging-log reset as
+    #: ``(disk_blocks_at_truncate, cumulative_appends_wiped)``. With
+    #: ``nvram`` set, ``total_blocks`` (and every op/barrier tag) counts
+    #: global units: disk blocks plus NVM appends, merged in issue order.
+    nvram: bool = False
+    nvm_appends: list[tuple[int, bytes]] = field(default_factory=list)
+    nvm_truncates: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def disk_blocks(self) -> int:
+        """The disk-only write count (= ``total_blocks`` without NVM)."""
+        return self.total_blocks - len(self.nvm_appends)
 
     def fresh_disk(self) -> Disk:
         """A device restored to the post-format image, clock included."""
@@ -87,9 +111,25 @@ class Recording:
 class TortureRecorder:
     """Drives a workload against the real FS and the oracle model in step."""
 
-    def __init__(self, config: LFSConfig, geometry: DiskGeometry, *, workload: str, seed: int):
+    def __init__(
+        self,
+        config: LFSConfig,
+        geometry: DiskGeometry,
+        *,
+        workload: str,
+        seed: int,
+        nvram: bool = False,
+    ):
         self.disk = RecordingDisk(geometry)
-        self.fs = LFS.format(self.disk, config)
+        self.nvram = nvram
+        self.nvm_appends: list[tuple[int, bytes]] = []
+        self.nvm_truncates: list[tuple[int, int]] = []
+        nvm_dev = None
+        if nvram:
+            from repro.disk.nvram import NVMDevice
+
+            nvm_dev = NVMDevice(clock=self.disk.clock)
+        self.fs = LFS.format(self.disk, config, nvram=nvm_dev)
         self.model = ModelFS()
         self.ops: list[OpRecord] = []
         self.barriers: list[Barrier] = []
@@ -97,15 +137,27 @@ class TortureRecorder:
         self._workload = workload
         self._seed = seed
         # The formatted image itself is the first durability barrier: an
-        # immediate crash must recover the empty root.
+        # immediate crash must recover the empty root. The NVM capture
+        # hooks install here too — format's own flushes never stage.
         self._base_state = self.disk.snapshot_state()
         self._base_clock = self.disk.clock.now
         self.disk.recording = True
+        if nvm_dev is not None:
+            nvm_dev.on_append = lambda framed: self.nvm_appends.append(
+                (self.disk.blocks_logged, framed)
+            )
+            nvm_dev.on_truncate = lambda n: self.nvm_truncates.append(
+                (self.disk.blocks_logged, len(self.nvm_appends))
+            )
         self.barriers.append(self.model.snapshot(-1, 0))
+
+    def _global_units(self) -> int:
+        """Durable units issued so far: disk blocks plus NVM appends."""
+        return self.disk.blocks_logged + len(self.nvm_appends)
 
     # -- mirrored operations -------------------------------------------
     def _record(self, op: OpRecord) -> OpRecord:
-        op.start_blocks = self.disk.blocks_logged
+        op.start_blocks = self._global_units()
         self.ops.append(op)
         return op
 
@@ -149,6 +201,13 @@ class TortureRecorder:
         self.fs.sync()
         self._barrier()
 
+    def fsync(self, path: str) -> None:
+        self._record(OpRecord("fsync", path=path))
+        self.fs.fsync(path)
+        # fsync absorbs the whole pending set (see LFS.fsync), so the
+        # oracle treats it as a full durability barrier, same as sync.
+        self._barrier()
+
     def checkpoint(self) -> None:
         self._record(OpRecord("checkpoint"))
         self.fs.checkpoint()
@@ -164,22 +223,28 @@ class TortureRecorder:
 
     def _barrier(self) -> None:
         self.barriers.append(
-            self.model.snapshot(len(self.ops) - 1, self.disk.blocks_logged)
+            self.model.snapshot(len(self.ops) - 1, self._global_units())
         )
 
     # -- finishing ------------------------------------------------------
     def finish(self) -> Recording:
         """Stop recording (leaving any unsynced tail dirty) and bundle up."""
         self.disk.recording = False
+        if self.fs.nvram is not None:
+            self.fs.nvram.on_append = None
+            self.fs.nvram.on_truncate = None
         return Recording(
             geometry=self.disk.geometry,
             config=self._config,
             base_state=self._base_state,
             base_clock=self._base_clock,
             requests=self.disk.requests,
-            total_blocks=self.disk.blocks_logged,
+            total_blocks=self._global_units(),
             ops=self.ops,
             barriers=self.barriers,
             workload=self._workload,
             seed=self._seed,
+            nvram=self.nvram,
+            nvm_appends=self.nvm_appends,
+            nvm_truncates=self.nvm_truncates,
         )

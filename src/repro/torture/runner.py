@@ -44,8 +44,13 @@ from repro.torture.workloads import record_workload
 #: Every variant the torture sweep understands: the crash-fault modes the
 #: injector can arm mid-stream, plus ``media`` — replay the whole stream,
 #: then age the platter with seeded bit-rot, latent sectors, and transient
-#: errors before the next mount.
-TORTURE_MODES = FAULT_MODES + ("media",)
+#: errors before the next mount — plus the NVM damage modes for two-domain
+#: recordings: ``nvm-media`` corrupts one surviving staging record and
+#: ``nvm-dead`` kills the whole board before the next mount.
+TORTURE_MODES = FAULT_MODES + ("media", "nvm-media", "nvm-dead")
+
+#: Variants that only make sense against a two-domain recording.
+NVM_MODES = ("nvm-media", "nvm-dead")
 
 
 @dataclass
@@ -69,6 +74,12 @@ class PointResult:
     damage_found: int = 0
     blocks_rescued: int = 0
     paths_degraded: int = 0
+    # two-domain (NVM) outcome counters; ``nvm_active`` gates the digest
+    # suffix so single-domain recordings fingerprint exactly as before
+    nvm_active: bool = False
+    nvm_records_replayed: int = 0
+    nvm_records_dropped: int = 0
+    nvm_read_only: bool = False
 
     def digest_line(self) -> str:
         """A stable one-line fingerprint (feeds the run digest)."""
@@ -80,6 +91,11 @@ class PointResult:
             # Extend (rather than change) the fingerprint so the crash
             # variants' digest stays comparable with pre-media baselines.
             line += f":{self.damage_found}:{self.blocks_rescued}:{self.paths_degraded}"
+        if self.nvm_active:
+            line += (
+                f":{self.nvm_records_replayed}:{self.nvm_records_dropped}:"
+                f"{int(self.nvm_read_only)}"
+            )
         return line
 
 
@@ -100,6 +116,72 @@ def _observe(watchdog: bool) -> Observation | None:
     return obs
 
 
+# ----------------------------------------------------------------------
+# two-domain cut arithmetic
+#
+# A global cut ``g`` persists the first ``g`` units of the merged stream:
+# disk blocks and NVM appends in issue order. NVM append ``j`` (0-based)
+# occupies the merged slot ``d_j + j`` where ``d_j`` is the disk block
+# count when it was issued; a truncate recorded as ``(d_t, a_t)`` sits at
+# merged position ``d_t + a_t`` and, having happened before the cut, has
+# wiped the first ``a_t`` appends from the board.
+
+
+def _split_cut(recording: Recording, g: int) -> tuple[int, int]:
+    """Map a global cut to ``(disk_cut, nvm_cut)`` durable prefixes."""
+    nvm_cut = 0
+    for j, (d, _) in enumerate(recording.nvm_appends):
+        if d + j < g:
+            nvm_cut = j + 1
+        else:
+            break
+    return g - nvm_cut, nvm_cut
+
+
+def _nvm_in_flight(recording: Recording, g: int) -> bool:
+    """True when the merged unit that trips the crash is an NVM append."""
+    _, nvm_cut = _split_cut(recording, g)
+    if nvm_cut >= len(recording.nvm_appends):
+        return False
+    d, _ = recording.nvm_appends[nvm_cut]
+    return d + nvm_cut == g
+
+
+def _nvm_at_cut(recording: Recording, g: int, variant: str, point_seed: int):
+    """The NVM board as a crash at global cut ``g`` leaves it.
+
+    Surviving records are ``appends[T:nvm_cut]`` where ``T`` is the wipe
+    count of the last truncate positioned before the cut. Under ``torn``
+    with an append in flight, a seeded prefix of the dying record is left
+    on the board — the frame CRC rejects it at replay, exactly like a
+    torn partial write on disk. (``clean``/``reorder`` drop the in-flight
+    append whole: appends are single atomic requests, so there is nothing
+    to reorder.)
+    """
+    from repro.disk.nvram import NVMDevice, NVMState
+
+    _, nvm_cut = _split_cut(recording, g)
+    wiped = 0
+    for d_t, a_t in recording.nvm_truncates:
+        if d_t + a_t <= g:
+            wiped = max(wiped, a_t)
+    records = [framed for _, framed in recording.nvm_appends[wiped:nvm_cut]]
+    nv = NVMDevice()
+    nv.restore_state(
+        NVMState(records=tuple(records), next_seq=len(recording.nvm_appends) + 1)
+    )
+    if variant == "torn" and _nvm_in_flight(recording, g):
+        _, framed = recording.nvm_appends[nvm_cut]
+        nv.restore_state(
+            NVMState(
+                records=tuple(records) + (framed,),
+                next_seq=len(recording.nvm_appends) + 1,
+            )
+        )
+        nv.tear_last_record(seed=point_seed)
+    return nv
+
+
 def explore_point(
     recording: Recording,
     cut: int,
@@ -114,14 +196,31 @@ def explore_point(
     crash (the injector never fires), which checks the oracle against an
     orderly-but-unflushed device. ``watchdog`` attaches the segment
     ledger + invariant watchdog to the point's replay and recovery.
+
+    For a two-domain recording ``cut`` counts global units (disk blocks
+    plus NVM appends, merged in issue order): the disk injector arms at
+    the cut's disk share, the reconstructed NVM board holds the cut's
+    append share, and the fault mode lands on whichever domain owns the
+    unit in flight.
     """
     if variant == "media":
         return _explore_media_point(recording, cut, point_seed, watchdog=watchdog)
+    if variant in NVM_MODES:
+        return _explore_nvm_point(recording, cut, variant, point_seed, watchdog=watchdog)
     disk = recording.fresh_disk()
     obs = _observe(watchdog)
     if obs is not None:
         obs.attach_disk(disk)
-    if cut < recording.total_blocks:
+    nv = None
+    if recording.nvram:
+        disk_cut, _ = _split_cut(recording, cut)
+        nv = _nvm_at_cut(recording, cut, variant, point_seed)
+        if disk_cut < recording.disk_blocks:
+            # When the dying unit is an NVM append the disk itself stops
+            # at a request boundary — its share of the cut is clean.
+            disk_mode = "clean" if _nvm_in_flight(recording, cut) else variant
+            disk.crash(after_writes=disk_cut, mode=disk_mode, seed=point_seed)
+    elif cut < recording.total_blocks:
         disk.crash(after_writes=cut, mode=variant, seed=point_seed)
     crash_exc: DiskCrashed | None = None
     replay_span = (
@@ -140,7 +239,7 @@ def explore_point(
         crash_exc = exc
     disk.power_on()
 
-    result = PointResult(cut=cut, variant=variant)
+    result = PointResult(cut=cut, variant=variant, nvm_active=recording.nvram)
     if crash_exc is not None:
         result.error_addr = crash_exc.addr
         result.error_op = crash_exc.op
@@ -148,7 +247,7 @@ def explore_point(
         recording.ops, recording.barriers, cut
     )
     try:
-        fs = LFS.mount(disk, recording.config, obs=obs)
+        fs = LFS.mount(disk, recording.config, obs=obs, nvram=nv)
     except LFSError as exc:
         result.ok = False
         result.violations.append(f"mount failed after crash: {exc}")
@@ -158,6 +257,16 @@ def explore_point(
         result.recovery_elapsed = report.elapsed
         result.partial_writes_replayed = report.partial_writes_replayed
         result.torn_writes_dropped = report.torn_writes_dropped
+        result.nvm_records_replayed = report.nvm_records_replayed
+        result.nvm_records_dropped = report.nvm_records_dropped
+    result.nvm_read_only = fs.read_only
+    if fs.read_only:
+        # A crash-variant cut never damages acknowledged NVM records, so
+        # a read-only degrade here is itself a contract violation.
+        result.violations.append(
+            "crash cut degraded the mount to read-only (no NVM record "
+            "was damaged)"
+        )
     recovered = snapshot_namespace(fs)
     result.violations.extend(
         verify_recovered(recovered, guaranteed, acceptable, touched)
@@ -169,10 +278,11 @@ def explore_point(
         f"disk busy_time {disk.stats.busy_time:.9f}s exceeds simulated "
         f"time {disk.clock.now:.9f}s after recovery at cut={cut}"
     )
-    fs.unmount()
-    check = check_filesystem(disk)
-    if not check.ok:
-        result.violations.extend(f"lfsck: {msg}" for msg in check.errors)
+    if not fs.read_only:
+        fs.unmount()
+        check = check_filesystem(disk)
+        if not check.ok:
+            result.violations.extend(f"lfsck: {msg}" for msg in check.errors)
     result.ok = not result.violations
     return result
 
@@ -273,6 +383,113 @@ def _explore_media_point(
     return result
 
 
+def _all_boundary_values(recording: Recording) -> dict[str, set]:
+    """Every value each path held at any operation boundary of the run.
+
+    The honesty bound for partial-NVM-damage points: acknowledged records
+    may be lost (the mount says so, loudly), so recovery may surface any
+    earlier boundary state — but bytes that were never the file's content
+    at any boundary mean fabrication slipped through the CRCs.
+    """
+    from repro.torture.oracle import ModelFS
+
+    model = ModelFS()
+    allowed: dict[str, set] = {"/": {DIR}}
+    for op in recording.ops:
+        for path in model.apply(op):
+            value = model.contents(path) if path in model.paths else None
+            allowed.setdefault(path, set()).add(value)
+    return allowed
+
+
+def _explore_nvm_point(
+    recording: Recording,
+    cut: int,
+    variant: str,
+    point_seed: int,
+    *,
+    watchdog: bool = False,
+) -> PointResult:
+    """Replay the whole stream, then damage the NVM board and remount.
+
+    Like ``media``, ``cut`` only varies the seeded damage. ``nvm-media``
+    corrupts one seeded surviving record: damage to any record but the
+    last is indistinguishable from losing acknowledged history, so the
+    mount must succeed but degrade to read-only; damage to the last
+    record alone is indistinguishable from a torn unacknowledged append
+    and is dropped cleanly. ``nvm-dead`` kills the whole board: the mount
+    cannot even prove the staging log was empty, so it must degrade.
+    Either way every recovered value must be some operation-boundary
+    state — degradation is honest, fabrication never is.
+    """
+    if not recording.nvram:
+        raise ValueError(f"variant {variant!r} needs a two-domain recording")
+    disk = recording.fresh_disk()
+    obs = _observe(watchdog)
+    if obs is not None:
+        obs.attach_disk(disk)
+    replay_span = (
+        obs.span("torture.replay", cut=cut, variant=variant)
+        if obs is not None
+        else nullcontext()
+    )
+    with replay_span:
+        for addr, payloads in recording.requests:
+            if len(payloads) == 1:
+                disk.write_block(addr, payloads[0])
+            else:
+                disk.write_blocks(addr, list(payloads))
+
+    result = PointResult(cut=cut, variant=variant, nvm_active=True)
+    nv = _nvm_at_cut(recording, recording.total_blocks, "clean", point_seed)
+    surviving = nv.record_count
+    expect_read_only = False
+    if variant == "nvm-dead":
+        nv.fail_device()
+        expect_read_only = True
+    elif surviving:
+        k = random.Random(point_seed).randrange(surviving)
+        nv.corrupt_record(k, seed=point_seed)
+        expect_read_only = k < surviving - 1
+
+    try:
+        fs = LFS.mount(disk, recording.config, obs=obs, nvram=nv)
+    except LFSError as exc:
+        result.ok = False
+        result.violations.append(f"mount failed after NVM damage: {exc}")
+        return result
+    report = fs.last_recovery
+    if report is not None:
+        result.recovery_elapsed = report.elapsed
+        result.partial_writes_replayed = report.partial_writes_replayed
+        result.torn_writes_dropped = report.torn_writes_dropped
+        result.nvm_records_replayed = report.nvm_records_replayed
+        result.nvm_records_dropped = report.nvm_records_dropped
+    result.nvm_read_only = fs.read_only
+    if fs.read_only != expect_read_only:
+        result.violations.append(
+            f"{variant}: expected read_only={expect_read_only} "
+            f"(surviving={surviving}), mount says {fs.read_only}"
+        )
+
+    allowed = _all_boundary_values(recording)
+    recovered = snapshot_namespace(fs)
+    for path, got in recovered.items():
+        if path not in allowed:
+            result.violations.append(f"{variant}: phantom path {path} surfaced")
+        elif got not in allowed[path]:
+            result.violations.append(
+                f"{variant}: {path} holds bytes that were never an "
+                f"operation-boundary state (fabricated content)"
+            )
+    assert disk.stats.busy_time <= disk.clock.now + 1e-9, (
+        f"disk busy_time {disk.stats.busy_time:.9f}s exceeds simulated "
+        f"time {disk.clock.now:.9f}s after NVM point cut={cut}"
+    )
+    result.ok = not result.violations
+    return result
+
+
 # ----------------------------------------------------------------------
 # parallel plumbing: the recording ships once per worker, not per point
 
@@ -315,6 +532,10 @@ def select_points(
     for v in variants:
         if v not in TORTURE_MODES:
             raise ValueError(f"unknown fault variant {v!r} (want one of {TORTURE_MODES})")
+        if v in NVM_MODES and not recording.nvram:
+            raise ValueError(
+                f"variant {v!r} needs a two-domain recording (run with nvram=True)"
+            )
     population = [
         (cut, variant)
         for cut in range(recording.total_blocks + 1)
@@ -383,6 +604,7 @@ def run_torture(
     exhaustive: bool = False,
     watchdog: bool = False,
     flash: bool = False,
+    nvram: bool = False,
 ) -> TortureResult:
     """Record one workload, then explore crash points across a pool.
 
@@ -391,10 +613,13 @@ def run_torture(
     unchanged unless an invariant actually breaks, which raises.
     ``flash`` records the workload on the NAND profile (erase-aware
     device, hot/cold segregation, wear leveling) so crash points land
-    inside the flash machinery too.
+    inside the flash machinery too. ``nvram`` records with the NVM
+    staging board attached, making the run two-domain: cuts enumerate
+    interleaved disk/NVM durable prefixes, and the ``nvm-media`` /
+    ``nvm-dead`` variants become available.
     """
     start = time.perf_counter()
-    recording = record_workload(workload, seed, flash=flash)
+    recording = record_workload(workload, seed, flash=flash, nvram=nvram)
     specs = select_points(
         recording, sample=sample, seed=seed, variants=variants, exhaustive=exhaustive
     )

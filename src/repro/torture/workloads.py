@@ -29,7 +29,7 @@ from repro.core.config import LFSConfig
 from repro.disk.geometry import DiskGeometry, FlashGeometry
 from repro.torture.record import Recording, TortureRecorder
 
-WORKLOADS = ("smallfile", "largefile", "andrew", "checkpoint", "cleaning")
+WORKLOADS = ("smallfile", "largefile", "andrew", "checkpoint", "cleaning", "syncheavy")
 
 #: Small device (16 MB) so replaying thousands of crash points stays cheap.
 _TORTURE_BLOCKS = 4096
@@ -57,6 +57,7 @@ def _recorder(
     *,
     num_blocks: int = _TORTURE_BLOCKS,
     flash: bool = False,
+    nvram: bool = False,
     **config_overrides,
 ) -> TortureRecorder:
     if flash:
@@ -76,6 +77,7 @@ def _recorder(
         geometry,
         workload=workload,
         seed=seed,
+        nvram=nvram,
     )
 
 
@@ -86,9 +88,9 @@ def _payload(rng: random.Random, size: int) -> bytes:
     return bytes((tag + i) % 256 for i in range(size))
 
 
-def record_smallfile(seed: int, *, flash: bool = False) -> Recording:
+def record_smallfile(seed: int, *, flash: bool = False, nvram: bool = False) -> Recording:
     rng = random.Random(seed)
-    rec = _recorder("smallfile", seed, flash=flash)
+    rec = _recorder("smallfile", seed, flash=flash, nvram=nvram)
     dirs = []
     for i in range(4):
         path = f"/d{i}"
@@ -119,9 +121,9 @@ def record_smallfile(seed: int, *, flash: bool = False) -> Recording:
     return rec.finish()
 
 
-def record_largefile(seed: int, *, flash: bool = False) -> Recording:
+def record_largefile(seed: int, *, flash: bool = False, nvram: bool = False) -> Recording:
     rng = random.Random(seed)
-    rec = _recorder("largefile", seed, flash=flash)
+    rec = _recorder("largefile", seed, flash=flash, nvram=nvram)
     path = "/big"
     rec.write(path, _payload(rng, 8192))
     size = 8192
@@ -143,9 +145,9 @@ def record_largefile(seed: int, *, flash: bool = False) -> Recording:
     return rec.finish()
 
 
-def record_andrew(seed: int, *, flash: bool = False) -> Recording:
+def record_andrew(seed: int, *, flash: bool = False, nvram: bool = False) -> Recording:
     rng = random.Random(seed)
-    rec = _recorder("andrew", seed, flash=flash)
+    rec = _recorder("andrew", seed, flash=flash, nvram=nvram)
     rec.mkdir("/src")
     rec.mkdir("/src/lib")
     rec.mkdir("/src/cmd")
@@ -178,10 +180,10 @@ def record_andrew(seed: int, *, flash: bool = False) -> Recording:
     return rec.finish()
 
 
-def record_checkpoint(seed: int, *, flash: bool = False) -> Recording:
+def record_checkpoint(seed: int, *, flash: bool = False, nvram: bool = False) -> Recording:
     """Checkpoint every 2–3 small ops: cuts land mid-checkpoint-write."""
     rng = random.Random(seed)
-    rec = _recorder("checkpoint", seed, flash=flash)
+    rec = _recorder("checkpoint", seed, flash=flash, nvram=nvram)
     rec.mkdir("/cp")
     since = 0
     for n in range(45):
@@ -193,7 +195,7 @@ def record_checkpoint(seed: int, *, flash: bool = False) -> Recording:
     return rec.finish()
 
 
-def record_cleaning(seed: int, *, flash: bool = False) -> Recording:
+def record_cleaning(seed: int, *, flash: bool = False, nvram: bool = False) -> Recording:
     """Overwrite churn against low watermarks, crashing mid-cleaning.
 
     Runs on a deliberately tiny device (15 segments) so the overwrite
@@ -203,7 +205,7 @@ def record_cleaning(seed: int, *, flash: bool = False) -> Recording:
     """
     rng = random.Random(seed)
     rec = _recorder(
-        "cleaning", seed, num_blocks=512, flash=flash,
+        "cleaning", seed, num_blocks=512, flash=flash, nvram=nvram,
         clean_low_water=4, clean_high_water=7,
     )
     rec.mkdir("/churn")
@@ -223,21 +225,88 @@ def record_cleaning(seed: int, *, flash: bool = False) -> Recording:
     return rec.finish()
 
 
+def record_syncheavy(seed: int, *, flash: bool = False, nvram: bool = True) -> Recording:
+    """Mail-server / database-commit pattern: small synchronous writes.
+
+    The paper's Section 5.1 worst case: most operations are sub-kilobyte
+    overwrites inside a handful of small files, each commit acknowledged
+    with an ``fsync`` — the workload NVM staging exists to absorb. Every
+    namespace operation (create, unlink, rename) is fsynced immediately,
+    so at most one namespace change is ever unacknowledged; content
+    writes batch one to three per commit like a group-committing
+    database. Records two-domain by default (``nvram=True``): crash cuts
+    land between and *inside* staging-record appends as well as disk
+    blocks.
+    """
+    rng = random.Random(seed)
+    rec = _recorder("syncheavy", seed, flash=flash, nvram=nvram)
+    rec.mkdir("/db")
+    rec.fsync("/db")
+    rec.mkdir("/mail")
+    rec.fsync("/mail")
+    tables = []
+    for i in range(4):
+        path = f"/db/table{i}"
+        rec.write(path, _payload(rng, rng.randrange(2048, 6144)))
+        rec.fsync(path)  # creation is a namespace op: acknowledge it now
+        tables.append(path)
+    mailseq = 0
+    mailbox: list[str] = []
+    for round_ in range(30):
+        # -- database commits: 1-3 small in-place updates, then fsync
+        table = rng.choice(tables)
+        for _ in range(rng.randrange(1, 4)):
+            size = len(rec.model.contents(table))
+            off = rng.randrange(0, max(1, size - 700))
+            rec.update(table, _payload(rng, rng.randrange(100, 700)), off)
+        if rng.random() < 0.25:
+            rec.append(table, _payload(rng, rng.randrange(100, 500)))
+        rec.fsync(table)
+        # -- mail delivery: new message files, fsynced per message
+        roll = rng.random()
+        if roll < 0.4:
+            path = f"/mail/msg{mailseq}"
+            mailseq += 1
+            rec.write(path, _payload(rng, rng.randrange(300, 1500)))
+            rec.fsync(path)
+            mailbox.append(path)
+        elif roll < 0.55 and mailbox:
+            victim = mailbox.pop(rng.randrange(len(mailbox)))
+            rec.unlink(victim)
+            rec.fsync("/mail")
+        elif roll < 0.65 and mailbox:
+            src = mailbox.pop(rng.randrange(len(mailbox)))
+            dst = src + ".read"
+            rec.rename(src, dst)
+            rec.fsync("/mail")
+            mailbox.append(dst)
+        if round_ % 10 == 9:
+            rec.checkpoint()
+    # Unacknowledged tail: one in-flight commit the crash may legally lose.
+    rec.update(tables[0], _payload(rng, 256), 0)
+    return rec.finish()
+
+
 _RECORDERS = {
     "smallfile": record_smallfile,
     "largefile": record_largefile,
     "andrew": record_andrew,
     "checkpoint": record_checkpoint,
     "cleaning": record_cleaning,
+    "syncheavy": record_syncheavy,
 }
 
 
-def record_workload(workload: str, seed: int, *, flash: bool = False) -> Recording:
+def record_workload(
+    workload: str, seed: int, *, flash: bool = False, nvram: bool = False
+) -> Recording:
     """Run one named workload under recording; returns the bundle.
 
     ``flash`` records the same operation script against the NAND profile
     (erase-aware device, hot/cold segregation, wear leveling) instead of
-    the Wren IV.
+    the Wren IV. ``nvram`` attaches the NVM staging board, producing a
+    two-domain recording (crash cuts then count disk blocks *and* NVM
+    appends).
     """
     try:
         fn = _RECORDERS[workload]
@@ -245,4 +314,4 @@ def record_workload(workload: str, seed: int, *, flash: bool = False) -> Recordi
         raise ValueError(
             f"unknown torture workload {workload!r} (want one of {WORKLOADS})"
         ) from None
-    return fn(seed, flash=flash)
+    return fn(seed, flash=flash, nvram=nvram)

@@ -119,6 +119,22 @@ class FileHandle:
         if hasattr(self._fs, "sync"):
             self._fs.sync()
 
+    def fsync(self) -> None:
+        """Make this file's writes durable before returning.
+
+        The per-handle commit point real applications use (mail servers,
+        database WALs): on an LFS with NVM staging the acknowledgement
+        may come from a staging-log append instead of a segment flush,
+        but either way everything written through this handle up to now
+        survives any later crash. Raises on a closed handle, same as any
+        other I/O — fsync-after-close is a lifetime bug, not a no-op.
+        """
+        self._check_open()
+        if hasattr(self._fs, "fsync"):
+            self._fs.fsync(self.path)
+        elif hasattr(self._fs, "sync"):
+            self._fs.sync()
+
     def close(self) -> None:
         """Invalidate the handle; closing twice is a usage bug."""
         if self._closed:

@@ -25,10 +25,22 @@ def public_exceptions():
     ]
 
 
+#: Errors that localize their failure with ``addr``/``op`` context.
+LOCALIZED = [
+    errors.MediaError,
+    errors.TrimmedBlockError,
+    errors.NVMError,
+    errors.NVMTornRecordError,
+    errors.NVMDeviceFailedError,
+]
+
+
 class TestHierarchy:
-    def test_every_public_exception_derives_from_lfserror(self):
-        for exc in public_exceptions():
-            assert issubclass(exc, errors.LFSError), exc.__name__
+    @pytest.mark.parametrize(
+        "exc", public_exceptions(), ids=lambda e: e.__name__
+    )
+    def test_every_public_exception_derives_from_lfserror(self, exc):
+        assert issubclass(exc, errors.LFSError), exc.__name__
 
     def test_all_matches_the_module_surface(self):
         exported = set(errors.__all__)
@@ -39,34 +51,46 @@ class TestHierarchy:
         assert "MediaError" in errors.__all__
         assert "ReadOnlyError" in errors.__all__
 
-    def test_every_exception_importable_from_repro_core(self):
-        for name in errors.__all__:
-            assert hasattr(repro.core, name), name
-            assert getattr(repro.core, name) is getattr(errors, name)
+    @pytest.mark.parametrize("name", errors.__all__)
+    def test_every_exception_importable_from_repro_core(self, name):
+        assert hasattr(repro.core, name), name
+        assert getattr(repro.core, name) is getattr(errors, name)
 
-    def test_one_except_clause_catches_everything(self):
-        for exc in public_exceptions():
-            if exc is errors.LFSError:
-                continue
-            kwargs = {}
-            try:
-                instance = exc("boom", **kwargs)
-            except TypeError:
-                instance = exc("boom")
-            with pytest.raises(errors.LFSError):
-                raise instance
+    @pytest.mark.parametrize(
+        "exc", public_exceptions(), ids=lambda e: e.__name__
+    )
+    def test_one_except_clause_catches_everything(self, exc):
+        if exc is errors.LFSError:
+            return
+        try:
+            instance = exc("boom")
+        except TypeError:
+            instance = exc("boom")
+        with pytest.raises(errors.LFSError):
+            raise instance
+
+    def test_nvm_family_parallels_the_disk_media_tree(self):
+        # The staging board is a second persistence domain: its failures
+        # are media failures, so degraded-read paths that already handle
+        # MediaError handle the NVM family for free.
+        assert issubclass(errors.NVMError, errors.MediaError)
+        assert issubclass(errors.NVMTornRecordError, errors.NVMError)
+        assert issubclass(errors.NVMDeviceFailedError, errors.NVMError)
+        assert not issubclass(errors.NVMError, errors.ReadOnlyError)
 
 
 class TestLocalizedErrors:
-    def test_media_error_carries_addr_and_op(self):
-        exc = errors.MediaError("read failed", addr=42, op="read")
-        assert exc.addr == 42 and exc.op == "read"
-        assert "read of block 42" in str(exc)
+    @pytest.mark.parametrize("exc", LOCALIZED, ids=lambda e: e.__name__)
+    def test_localized_error_carries_addr_and_op(self, exc):
+        instance = exc("request failed", addr=42, op="read")
+        assert instance.addr == 42 and instance.op == "read"
+        assert "read of block 42" in str(instance)
 
-    def test_media_error_without_location_keeps_plain_message(self):
-        exc = errors.MediaError("device gone")
-        assert exc.addr is None and exc.op is None
-        assert str(exc) == "device gone"
+    @pytest.mark.parametrize("exc", LOCALIZED, ids=lambda e: e.__name__)
+    def test_localized_error_without_location_keeps_plain_message(self, exc):
+        instance = exc("device gone")
+        assert instance.addr is None and instance.op is None
+        assert str(instance) == "device gone"
 
     def test_disk_crashed_carries_addr_and_op(self):
         from repro.disk.faults import DiskCrashed
@@ -79,3 +103,28 @@ class TestLocalizedErrors:
     def test_readonly_error_is_distinct_from_corruption(self):
         assert not issubclass(errors.ReadOnlyError, errors.CorruptionError)
         assert not issubclass(errors.CorruptionError, errors.ReadOnlyError)
+
+    def test_nvm_device_raises_with_op_context(self):
+        from repro.disk.nvram import NVMDevice
+
+        nvm = NVMDevice()
+        with pytest.raises(errors.NVMError) as exc_info:
+            nvm.append_record(b"")  # empty record is an append-side bug
+        assert exc_info.value.op == "append"
+        nvm.fail_device()
+        with pytest.raises(errors.NVMDeviceFailedError) as exc_info:
+            nvm.read_records()
+        assert exc_info.value.op == "read"
+        with pytest.raises(errors.NVMDeviceFailedError) as exc_info:
+            nvm.truncate_all()
+        assert exc_info.value.op == "truncate"
+
+    def test_nvm_overflow_names_the_offset(self):
+        from repro.disk.nvram import NVMDevice, NVMProfile
+
+        nvm = NVMDevice(NVMProfile(capacity_bytes=64))
+        nvm.append_record(b"x" * 16)
+        with pytest.raises(errors.NVMError) as exc_info:
+            nvm.append_record(b"y" * 64)
+        assert exc_info.value.op == "append"
+        assert exc_info.value.addr == nvm.used_bytes
