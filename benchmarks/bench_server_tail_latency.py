@@ -17,6 +17,14 @@ and regression-gates cleanly::
 The recorded metrics are keyed ``latency_p99[c1000/drr/cleaner]`` so
 ``repro bench-diff`` treats them as lower-better; a CI run over a subset
 grid diffs against the checked-in baseline on the shared keys.
+
+Every point also runs with the flight recorder attached (sampling is
+passive, so the event and latency digests are identical to a bare run)
+and records curve-level metrics from the sampled timeline: the peak
+instantaneous write cost, the worst 1-minute SLO burn rate, and the
+total simulated time spent above the SLO — so a regression in the
+*shape* of a run (a cleaning storm mid-run, say) gates even when the
+end-of-run percentiles survive it.
 """
 
 from __future__ import annotations
@@ -44,6 +52,10 @@ HEAVY_FRACTION = 0.4
 TENANTS = 8
 #: a tenant that only has its round-robin share — DRR's beneficiary
 LIGHT_TENANT = "t1"
+#: request-latency SLO threshold (simulated seconds) for burn tracking;
+#: sits between the grid's p50s and p99s so burn rates are neither
+#: pinned at zero nor saturated.
+SLO_LATENCY = 5.0
 
 
 def run_point(clients: int, policy: str, cleaner: bool, base_seed: int) -> dict:
@@ -60,9 +72,13 @@ def run_point(clients: int, policy: str, cleaner: bool, base_seed: int) -> dict:
         ),
         policy=policy,
         cleaner=cleaner,
+        timeline=True,
+        slo_latency=SLO_LATENCY,
     )
     result = run_server(config)
     label = f"c{clients}/{policy}/{'cleaner' if cleaner else 'nocleaner'}"
+    timeline = result.timeline
+    slo = timeline["slo"]["server"]
     return {
         "label": label,
         "requests": result.requests,
@@ -75,6 +91,12 @@ def run_point(clients: int, policy: str, cleaner: bool, base_seed: int) -> dict:
         "p99": result.latency["server"]["p99"],
         "p999": result.latency["server"]["p999"],
         "light_p99": result.latency[LIGHT_TENANT]["p99"],
+        "peak_write_cost": timeline["peaks"].get("peak_write_cost", 1.0),
+        "worst_burn_1m": slo["worst_burn"]["60s"],
+        "time_above_slo": slo["time_above_slo"],
+        "timeline_samples": timeline["samples"],
+        "timeline_digest": timeline["digest"],
+        "annotations": len(timeline["annotations"]),
     }
 
 
@@ -110,7 +132,10 @@ def main(argv: list[str] | None = None) -> int:
     metrics: dict[str, float] = {}
     total_requests = 0
     failed = 0
-    header = f"{'config':<24} {'reqs':>6} {'p50':>8} {'p99':>8} {'p999':>8} {'light p99':>10}"
+    header = (
+        f"{'config':<24} {'reqs':>6} {'p50':>8} {'p99':>8} {'p999':>8} "
+        f"{'light p99':>10} {'peak wc':>8} {'burn 1m':>8} {'>SLO':>8}"
+    )
     print(header)
     print("-" * len(header))
     for point in points:
@@ -120,11 +145,16 @@ def main(argv: list[str] | None = None) -> int:
         metrics[f"latency_p99[{label}]"] = round(point["p99"], 6)
         metrics[f"latency_p999[{label}]"] = round(point["p999"], 6)
         metrics[f"latency_p99_light[{label}]"] = round(point["light_p99"], 6)
+        metrics[f"peak_write_cost[{label}]"] = round(point["peak_write_cost"], 6)
+        metrics[f"worst_burn_1m[{label}]"] = round(point["worst_burn_1m"], 6)
+        metrics[f"time_above_slo[{label}]"] = round(point["time_above_slo"], 6)
         total_requests += point["requests"]
         failed += point["failed"]
         print(
             f"{label:<24} {point['requests']:>6} {point['p50']:>8.3f} "
-            f"{point['p99']:>8.3f} {point['p999']:>8.3f} {point['light_p99']:>10.3f}"
+            f"{point['p99']:>8.3f} {point['p999']:>8.3f} {point['light_p99']:>10.3f} "
+            f"{point['peak_write_cost']:>8.3f} {point['worst_burn_1m']:>8.2f} "
+            f"{point['time_above_slo']:>8.2f}"
         )
     print(
         f"\n{len(points)} configs, {total_requests} requests ({failed} failed), "
@@ -148,7 +178,9 @@ def main(argv: list[str] | None = None) -> int:
             "heavy_fraction": HEAVY_FRACTION,
             "tenants": TENANTS,
             "failed_requests": failed,
+            "slo_latency": SLO_LATENCY,
             "point_digests": {p["label"]: p["digest"] for p in points},
+            "timeline_digests": {p["label"]: p["timeline_digest"] for p in points},
             **metrics,
         },
     )

@@ -1,11 +1,13 @@
 """Smoke-check that tracing is cheap and that disabled tracing is free.
 
-Runs the Figure 8 small-file workload twice — tracer disabled (the
-default: no Observation attached at all) and tracer enabled with an
-unbounded ring — and asserts the traced run stays within 10% wall-clock
-of the untraced one (plus a small floor so tiny runs aren't noise-bound).
-A sample of the trace is exported as JSONL *after* timing, so export
-cost never pollutes the overhead measurement.
+Runs the Figure 8 small-file workload three ways — tracer disabled (the
+default: no Observation attached at all), tracer enabled with an
+unbounded ring, and tracer plus the timeline flight recorder — and
+asserts the traced run stays within 10% wall-clock of the untraced one,
+and the sampled run within 10% of the traced one (plus a small floor so
+tiny runs aren't noise-bound). A sample of the trace is exported as
+JSONL *after* timing, so export cost never pollutes the overhead
+measurement.
 
 Standalone on purpose (not pytest-collected): CI runs it directly.
 
@@ -26,7 +28,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent))  # for conftest helpers
 from conftest import RESULTS_DIR, assert_time_sane, record_bench
 
 from repro.disk.geometry import DiskGeometry
-from repro.obs import Observation
+from repro.obs import Observation, TimelineRecorder
 from repro.obs.derive import cross_check
 from repro.workloads.smallfile import run_smallfile
 
@@ -47,6 +49,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=3, help="best-of-N timing")
     parser.add_argument("--max-overhead", type=float, default=0.10)
     parser.add_argument("--jsonl", default=None, help="export a sample trace here")
+    parser.add_argument("--timeline-cadence", type=float, default=0.05,
+                        help="flight-recorder cadence for the sampled leg")
     args = parser.parse_args(argv)
 
     base = min(_run(args.files, None) for _ in range(args.rounds))
@@ -66,12 +70,31 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     assert_time_sane(obs)
 
+    # Third leg: tracer + flight recorder, gated against the traced run
+    # (the recorder rides the tracer, so that's its marginal cost).
+    sampled = float("inf")
+    sampled_obs = None
+    for _ in range(args.rounds):
+        candidate = Observation(ring_capacity=None)
+        TimelineRecorder(cadence=args.timeline_cadence).install(candidate)
+        elapsed = _run(args.files, candidate)
+        if elapsed < sampled:
+            sampled, sampled_obs = elapsed, candidate
+    assert sampled_obs is not None
+    sampled_obs.timeline.finish()
+
     overhead = (traced - base) / base if base > 0 else 0.0
+    sample_overhead = (sampled - traced) / traced if traced > 0 else 0.0
     # the +0.2s floor keeps sub-second runs from failing on scheduler noise
     limit = base * (1.0 + args.max_overhead) + 0.2
+    sample_limit = traced * (1.0 + args.max_overhead) + 0.2
     print(
         f"untraced {base:.3f}s, traced {traced:.3f}s "
         f"({overhead * 100:+.1f}%, {obs.tracer.total_emitted} events)"
+    )
+    print(
+        f"sampled {sampled:.3f}s ({sample_overhead * 100:+.1f}% over traced, "
+        f"{sampled_obs.timeline.samples_taken} samples)"
     )
 
     if args.jsonl:
@@ -88,10 +111,14 @@ def main(argv: list[str] | None = None) -> int:
             "traced_seconds": round(traced, 6),
             "overhead_fraction": round(overhead, 6),
             "events": obs.tracer.total_emitted,
+            "sampled_seconds": round(sampled, 6),
+            "sample_overhead_fraction": round(sample_overhead, 6),
+            "timeline_samples": sampled_obs.timeline.samples_taken,
         },
     )
     print(f"recorded {path}")
-    print(json.dumps({"base": base, "traced": traced, "limit": limit}))
+    print(json.dumps({"base": base, "traced": traced, "sampled": sampled,
+                      "limit": limit, "sample_limit": sample_limit}))
 
     if traced > limit:
         print(
@@ -99,7 +126,13 @@ def main(argv: list[str] | None = None) -> int:
             f"(>{args.max_overhead * 100:.0f}% overhead)"
         )
         return 1
-    print("OK: tracing overhead within budget")
+    if sampled > sample_limit:
+        print(
+            f"FAIL: sampled run {sampled:.3f}s exceeds limit {sample_limit:.3f}s "
+            f"(>{args.max_overhead * 100:.0f}% overhead over traced)"
+        )
+        return 1
+    print("OK: tracing and sampling overhead within budget")
     return 0
 
 

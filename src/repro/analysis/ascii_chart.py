@@ -112,6 +112,52 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+#: Amplitude glyphs for :func:`render_sparkline`, lowest to highest.
+#: ASCII-only so log files and CI consoles render them everywhere.
+_SPARK_GLYPHS = "_.:-=+*#%@"
+
+
+def render_sparkline(
+    values: Sequence[float | None],
+    *,
+    width: int = 64,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render one series as a fixed-width amplitude strip.
+
+    ``None`` entries are gaps (rendered as spaces). When the series is
+    longer than ``width`` the samples are bucketed and each cell shows
+    its bucket's mean; shorter series render one cell per sample. ``lo``
+    and ``hi`` pin the amplitude scale (defaulting to the data range) so
+    several sparklines can share an axis.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return " " * width
+    floor = min(present) if lo is None else lo
+    ceil = max(present) if hi is None else hi
+    span = ceil - floor
+    cells = []
+    n = len(values)
+    buckets = min(width, n)
+    for i in range(buckets):
+        start = i * n // buckets
+        stop = max(start + 1, (i + 1) * n // buckets)
+        window = [v for v in values[start:stop] if v is not None]
+        if not window:
+            cells.append(" ")
+            continue
+        mean = sum(window) / len(window)
+        if span <= 0:
+            cells.append(_SPARK_GLYPHS[-1])
+            continue
+        frac = (mean - floor) / span
+        idx = int(max(0.0, min(1.0, frac)) * (len(_SPARK_GLYPHS) - 1))
+        cells.append(_SPARK_GLYPHS[idx])
+    return "".join(cells).ljust(width)
+
+
 #: Utilization decile glyphs for :func:`render_heatmap`: "." is exactly
 #: empty, 1-9 are deciles, "#" is (nearly) full.
 _HEAT_GLYPHS = ".123456789#"

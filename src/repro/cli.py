@@ -478,6 +478,13 @@ def cmd_report(args: argparse.Namespace) -> int:
     ledger = SegmentLedger()
     ledger.install(obs)
     Watchdog(ledger=ledger).install(obs)
+    if args.timeline:
+        from repro.obs import TimelineRecorder
+
+        # No event loop here: the flush/clean/checkpoint hooks and the
+        # per-event gate drive the cadence, so a finer default fits the
+        # short simulated spans these workloads cover.
+        TimelineRecorder(cadence=args.timeline_cadence).install(obs)
 
     if args.workload == "smallfile":
         from repro.workloads.smallfile import run_smallfile
@@ -499,13 +506,20 @@ def cmd_report(args: argparse.Namespace) -> int:
             "lfs", file_size=args.file_mb * 1024 * 1024, geometry=flash_geo, obs=obs
         )
     fs = obs._fs
+    if obs.timeline is not None:
+        obs.timeline.finish()
 
+    sections = []
+    if args.flash:
+        sections.append("flash")
+    if args.timeline:
+        sections.append("timeline")
     report = build_report(
         obs,
         fs,
         ledger,
         name=args.workload,
-        sections=("flash",) if args.flash else (),
+        sections=tuple(sections),
     )
     if args.json_out:
         with open(args.json_out, "w") as fh:
@@ -536,6 +550,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         quantum=args.quantum,
         cleaner=not args.no_cleaner,
         nvram=args.nvram,
+        timeline=args.timeline,
+        timeline_cadence=args.timeline_cadence,
+        slo_latency=args.slo_latency,
     )
     t0 = time.perf_counter()
     result = run_server(config, watchdog=args.watchdog)
@@ -584,10 +601,114 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 title="cleaner interference by tenant",
             )
         )
+    if result.timeline:
+        tl = result.timeline
+        print()
+        print(
+            f"timeline: {tl['samples']} samples (stride {tl['stride']}), "
+            f"{len(tl['annotations'])} annotation(s), digest {tl['digest']}"
+        )
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump(result.to_dict(), fh, indent=2)
         print(f"\nwrote {args.json_out}")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Record (or load) a flight-recorder timeline and render dashboards.
+
+    Exit 0 always for successful runs — the dashboard is diagnostic, not
+    a gate; gating happens in ``bench-diff`` on the curve-level metrics.
+    Exit 2 when ``--load`` cannot parse the file.
+    """
+    from repro.obs import (
+        Observation,
+        TimelineFormatError,
+        load_timeline_jsonl,
+        render_dashboard,
+    )
+
+    if args.load:
+        try:
+            header, store = load_timeline_jsonl(args.load)
+        except TimelineFormatError as exc:
+            print(f"timeline: {exc}", file=sys.stderr)
+            return 2
+        trailer = header.get("trailer", {})
+        print(
+            f"loaded {args.load}: schema {header.get('schema')}, "
+            f"{len(store)} samples, {len(store.columns)} columns, "
+            f"stride {store.stride}"
+        )
+        if trailer.get("digest"):
+            print(f"digest {trailer['digest']}")
+        print()
+        print(
+            render_dashboard(
+                store, tenant=args.tenant, source=args.source, width=args.width
+            )
+        )
+        return 0
+
+    from repro.server import ServerConfig, WorkloadConfig, run_server
+
+    workload = WorkloadConfig(
+        clients=args.clients,
+        tenants=args.tenants,
+        ops_per_client=args.ops,
+        files_per_client=args.files,
+        file_size=args.file_size,
+        mode=args.mode,
+        think_seconds=args.think,
+        heavy_fraction=args.heavy_fraction,
+        seed=args.seed,
+        sync_writes=args.sync_writes,
+    )
+    config = ServerConfig(
+        workload=workload,
+        policy=args.policy,
+        quantum=args.quantum,
+        cleaner=not args.no_cleaner,
+        nvram=args.nvram,
+        timeline=True,
+        timeline_cadence=args.cadence,
+        timeline_max_samples=args.max_samples,
+        slo_latency=args.slo_latency,
+        slo_target=args.slo_target,
+    )
+    obs = Observation(ring_capacity=4096)
+    t0 = time.perf_counter()
+    result = run_server(config, obs=obs, watchdog=args.watchdog)
+    wall = time.perf_counter() - t0
+    recorder = obs.timeline
+
+    print(
+        f"timeline — {result.clients} clients / {result.tenants} tenants, "
+        f"policy={result.policy}, {result.requests} requests, "
+        f"{result.elapsed_seconds:.2f}s simulated, {wall:.2f}s wall"
+    )
+    print(f"digest {result.digest}  latency-digest {result.latency_digest}")
+    print()
+    print(
+        render_dashboard(
+            recorder.store,
+            summary=recorder.summary(),
+            tenant=args.tenant,
+            source=args.source,
+            width=args.width,
+        )
+    )
+    if args.export:
+        n = recorder.export_jsonl(args.export)
+        print(f"\nwrote {n} samples to {args.export}")
+    if args.csv:
+        n = recorder.export_csv(args.csv)
+        print(f"wrote {n} rows to {args.csv}")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -921,6 +1042,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file-mb", type=int, default=4, help="file size (MB) for the largefile workload")
     p.add_argument("--ring", type=int, default=4096, help="ring capacity (0 = unbounded)")
     p.add_argument("--flash", action="store_true", help="run the workload on the NAND flash profile; the report gains a flash wear/TRIM section")
+    p.add_argument("--timeline", action="store_true", help="attach the flight recorder; the report gains a timeline section")
+    p.add_argument("--timeline-cadence", type=float, default=0.05, help="flight-recorder cadence in simulated seconds")
     p.add_argument("--json-out", default=None, help="also write the report as JSON to this path")
     p.set_defaults(func=cmd_report)
 
@@ -951,8 +1074,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nvram", action="store_true", help="attach an NVM staging board so those fsyncs are absorbed as staging appends")
     p.add_argument("--seed", type=int, default=42, help="workload seed")
     p.add_argument("--watchdog", action="store_true", help="attach the segment ledger + invariant watchdog")
+    p.add_argument("--timeline", action="store_true", help="attach the flight recorder (timeline summary rides in --json-out)")
+    p.add_argument("--timeline-cadence", type=float, default=0.25, help="flight-recorder cadence in simulated seconds")
+    p.add_argument("--slo-latency", type=float, default=0.0, help="latency SLO threshold for burn-rate tracking (0 = off)")
     p.add_argument("--json-out", default=None, help="write the full result as JSON to this path")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "timeline",
+        help="flight recorder: record a server run and render sparkline dashboards",
+        description=(
+            "Run the multi-tenant server with the flight recorder "
+            "attached: every registered metrics source plus derived "
+            "gauges (instantaneous write cost, cleaner share, cache hit "
+            "rate, per-tenant windowed latency percentiles) sampled on a "
+            "simulated-time cadence into a bounded columnar store, with "
+            "SLO burn-rate tracking and phase detection (cleaning "
+            "storms, read-only degradation, NVM destage stalls). Renders "
+            "ASCII sparkline dashboards; --tenant/--source focus them. "
+            "Deterministic: the same seed reproduces the same samples "
+            "and the same timeline digest, bit for bit. --load renders "
+            "a previously exported JSONL timeline instead of running."
+        ),
+    )
+    p.add_argument("--clients", type=int, default=200, help="simulated clients")
+    p.add_argument("--tenants", type=int, default=4, help="tenants (clients assigned round-robin)")
+    p.add_argument("--ops", type=int, default=4, help="measured requests per client after setup")
+    p.add_argument("--files", type=int, default=2, help="working-set files per client")
+    p.add_argument("--file-size", type=int, default=1024, help="file / write payload bytes")
+    p.add_argument("--mode", default="closed", choices=("closed", "open"), help="closed-loop or open-loop arrivals")
+    p.add_argument("--think", type=float, default=0.25, help="closed-loop mean think seconds")
+    p.add_argument("--heavy-fraction", type=float, default=0.0, help="fraction of clients concentrated on tenant 0 (aggressor-tenant runs)")
+    p.add_argument("--policy", default="fifo", choices=("fifo", "drr"), help="admission policy")
+    p.add_argument("--quantum", type=float, default=8.0, help="DRR quantum in cost units (KB)")
+    p.add_argument("--no-cleaner", action="store_true", help="disable background cleaner passes")
+    p.add_argument("--sync-writes", action="store_true", help="commit every mutating request with a per-handle fsync")
+    p.add_argument("--nvram", action="store_true", help="attach the NVM staging board")
+    p.add_argument("--seed", type=int, default=42, help="workload seed")
+    p.add_argument("--watchdog", action="store_true", help="attach the segment ledger + invariant watchdog")
+    p.add_argument("--cadence", type=float, default=0.25, help="sampling cadence in simulated seconds")
+    p.add_argument("--max-samples", type=int, default=512, help="store bound; past it, samples thin 2:1 and the cadence doubles")
+    p.add_argument("--slo-latency", type=float, default=0.0, help="per-request latency SLO threshold in simulated seconds (0 = no SLO tracking)")
+    p.add_argument("--slo-target", type=float, default=0.99, help="SLO success-fraction target")
+    p.add_argument("--tenant", default=None, help="focus the dashboard on one tenant's latency/SLO rows")
+    p.add_argument("--source", default=None, help="focus the dashboard on one metrics source (e.g. cleaner, cache)")
+    p.add_argument("--width", type=int, default=64, help="sparkline width in characters")
+    p.add_argument("--export", default=None, metavar="FILE", help="export the timeline as framed JSONL")
+    p.add_argument("--csv", default=None, metavar="FILE", help="export the timeline as CSV")
+    p.add_argument("--json-out", default=None, help="write the full server result as JSON to this path")
+    p.add_argument("--load", default=None, metavar="FILE", help="render a previously exported JSONL timeline instead of running")
+    p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser(
         "bench-diff",

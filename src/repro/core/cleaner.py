@@ -257,6 +257,8 @@ class Cleaner:
         finally:
             fs._in_cleaner = False
             fs.writer.exempt = False
+            if fs.obs is not None:
+                fs.obs.timeline_tick()
 
     def _free_blocks(self) -> int:
         """Writable blocks: clean segments plus the unused log tail."""

@@ -1358,6 +1358,8 @@ class LFS:
             writes = self.writer.append(items, cleaning=cleaning, barrier=barrier)
         self.stats.flushes += 1
         self._nvm_truncate_after_flush()
+        if self.obs is not None:
+            self.obs.timeline_tick()
         return writes
 
     def sync(self) -> None:
@@ -1475,6 +1477,8 @@ class LFS:
             # can never need their old bytes. Safe to TRIM.
             if self._pending_trims:
                 self._drain_pending_trims()
+        if self.obs is not None:
+            self.obs.timeline_tick()
 
     def _drain_pending_trims(self) -> None:
         """TRIM deferred dead segments whose death a checkpoint persisted.

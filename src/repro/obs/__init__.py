@@ -53,6 +53,17 @@ from repro.obs.report import (
     render_report,
 )
 from repro.obs.spans import SpanTracker, build_span_tree, render_span_tree
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA,
+    SLOObjective,
+    SLOTracker,
+    TimelineAnnotation,
+    TimelineFormatError,
+    TimelineRecorder,
+    TimelineStore,
+    load_timeline_jsonl,
+    render_dashboard,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -80,12 +91,19 @@ __all__ = [
     "NVM_STAGE",
     "NullTracer",
     "Observation",
+    "SLOObjective",
+    "SLOTracker",
     "SYSTEM_TENANT",
     "SegmentLedger",
     "SegmentLife",
     "SpanTracker",
+    "TIMELINE_SCHEMA",
     "TRACE_SCHEMA",
     "TimeAttribution",
+    "TimelineAnnotation",
+    "TimelineFormatError",
+    "TimelineRecorder",
+    "TimelineStore",
     "TraceFormatError",
     "Tracer",
     "Watchdog",
@@ -93,8 +111,10 @@ __all__ = [
     "build_report",
     "build_span_tree",
     "load_bench",
+    "load_timeline_jsonl",
     "load_trace_jsonl",
     "render_bench_diff",
+    "render_dashboard",
     "render_report",
     "render_span_tree",
     "scrape",

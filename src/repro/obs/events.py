@@ -34,6 +34,7 @@ kind               fields
 ``nvm.append``     ``seq, bytes, records, used, elapsed``
 ``nvm.truncate``   ``records, bytes, uncovered``
 ``nvm.fail``       ``reason``
+``timeline.annotation``  ``type, start, end, severity[, ...]``
 =================  ====================================================
 
 Events emitted while a tenant attribution scope is open additionally
@@ -92,6 +93,12 @@ FS_SYNC = "fs.sync"
 NVM_APPEND = "nvm.append"
 NVM_TRUNCATE = "nvm.truncate"
 NVM_FAIL = "nvm.fail"
+# The flight recorder's phase detector flagged an anomaly (a cleaning
+# storm, a read-only degradation, an NVM destage stall). ``type`` names
+# the anomaly, ``start``/``end`` bound it in simulated time, and
+# ``severity`` is its peak intensity — the same record lands in the
+# timeline store as a typed annotation.
+TIMELINE_ANNOTATION = "timeline.annotation"
 
 #: Version of the trace JSONL on-disk format. Bumped whenever the header,
 #: trailer, or event line shape changes incompatibly. Schema 1 traces had
@@ -126,6 +133,7 @@ EVENT_KINDS = (
     NVM_APPEND,
     NVM_TRUNCATE,
     NVM_FAIL,
+    TIMELINE_ANNOTATION,
 )
 
 

@@ -56,6 +56,10 @@ class Observation:
         #: global request latencies here; ``repro report`` renders any it
         #: finds). Insertion-ordered, hence deterministic to serialize.
         self.latency: dict[str, LatencyHistogram] = {}
+        #: optional flight recorder (a
+        #: :class:`~repro.obs.timeline.TimelineRecorder` installs itself
+        #: here); hook sites drive it via :meth:`timeline_tick`.
+        self.timeline = None
         self._clock = None
         self._fs = None
         self._subscribers: list = []
@@ -129,6 +133,16 @@ class Observation:
     def tenant(self, name: str):
         """Tenant scope: disk time and events inside are tagged ``name``."""
         return self.attribution.tenant(name)
+
+    def timeline_tick(self) -> None:
+        """Offer the flight recorder a sampling opportunity (cheap no-op
+        when no timeline is installed); hook sites in the FS flush,
+        checkpoint, and cleaner paths call this after clock-advancing
+        work so a timeline-enabled run samples at cadence resolution
+        even without an event loop driving it."""
+        timeline = self.timeline
+        if timeline is not None:
+            timeline.maybe_sample(self.now())
 
     def histogram(self, name: str, **kwargs) -> LatencyHistogram:
         """The named latency histogram, created on first use."""

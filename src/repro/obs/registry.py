@@ -13,11 +13,14 @@ zero-argument callables returning one; callables re-resolve at each
 snapshot, which keeps a registration valid across ``Disk.reset_stats``
 swapping the stats object out from under it.
 
-Scraping rules: ints and floats are copied; dicts with numeric values
-are copied with keys stringified (enum keys use their ``name``); lists
-contribute their length as ``<field>_count``. Everything else —
-derived properties, payloads, private state — is skipped, so snapshots
-hold raw counters only and deltas are always well-defined.
+Scraping rules: ints and floats are copied; dicts are copied with keys
+stringified (enum keys use their ``name``) keeping only their numeric
+entries — non-numeric entries are skipped individually and counted as
+``<field>_skipped`` so a mixed-value stats dict still contributes its
+counters instead of vanishing wholesale. Lists contribute their length
+as ``<field>_count``. Everything else — derived properties, payloads,
+private state — is skipped, so snapshots hold raw counters only and
+deltas are always well-defined.
 """
 
 from __future__ import annotations
@@ -29,19 +32,28 @@ Snapshot = dict[str, dict[str, Any]]
 
 
 def _scrape_value(value: Any):
-    """Numeric-only projection of one attribute, or None to skip it."""
+    """Numeric-only projection of one scalar attribute, or None to skip."""
     if isinstance(value, bool):
         return None
     if isinstance(value, (int, float)):
         return value
-    if isinstance(value, dict):
-        out = {}
-        for key, item in value.items():
-            if isinstance(item, bool) or not isinstance(item, (int, float)):
-                return None
-            out[getattr(key, "name", None) or str(key)] = item
-        return out
     return None
+
+
+def _scrape_dict(value: dict) -> tuple[dict, int]:
+    """``(numeric entries, skipped count)`` of one dict-valued attribute.
+
+    Entries are filtered individually — one string or bool value must
+    not drop the dict's remaining counters from the snapshot.
+    """
+    out = {}
+    skipped = 0
+    for key, item in value.items():
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            skipped += 1
+            continue
+        out[getattr(key, "name", None) or str(key)] = item
+    return out, skipped
 
 
 def scrape(source: Any) -> dict[str, Any]:
@@ -55,6 +67,12 @@ def scrape(source: Any) -> dict[str, Any]:
         value = getattr(source, name)
         if isinstance(value, list):
             out[f"{name}_count"] = len(value)
+            continue
+        if isinstance(value, dict):
+            kept, skipped = _scrape_dict(value)
+            out[name] = kept
+            if skipped:
+                out[f"{name}_skipped"] = skipped
             continue
         scraped = _scrape_value(value)
         if scraped is not None:
@@ -86,7 +104,15 @@ class MetricsRegistry:
 
     @staticmethod
     def delta(later: Snapshot, earlier: Snapshot) -> Snapshot:
-        """Per-field ``later - earlier``; fields missing earlier count as 0."""
+        """Per-field ``later - earlier``; a field missing on either side
+        counts as 0 there.
+
+        Fields (or whole sources) present only in ``earlier`` — a source
+        replaced or deregistered mid-run — surface as *negative* deltas
+        rather than disappearing, so phase accounting stays conservative:
+        summing deltas over consecutive phases always reproduces the
+        end-to-end delta.
+        """
         out: Snapshot = {}
         for source_name, fields in later.items():
             base = earlier.get(source_name, {})
@@ -98,9 +124,27 @@ class MetricsRegistry:
                     diff[field] = {
                         k: v - before.get(k, 0) for k, v in value.items()
                     }
+                    for k, v in before.items():
+                        if k not in value:
+                            diff[field][k] = -v
                 else:
+                    before = before if isinstance(before, (int, float)) else 0
                     diff[field] = value - before
+            for field, before in base.items():
+                if field in fields:
+                    continue
+                diff[field] = (
+                    {k: -v for k, v in before.items()}
+                    if isinstance(before, dict)
+                    else -before
+                )
             out[source_name] = diff
+        for source_name in earlier:
+            if source_name in later:
+                continue
+            out[source_name] = MetricsRegistry.delta(
+                {source_name: {}}, {source_name: earlier[source_name]}
+            )[source_name]
         return out
 
     def render(self, snapshot: Snapshot | None = None) -> str:

@@ -60,6 +60,7 @@ SECTION_TITLES = {
     "flash": "flash wear and TRIM",
     "nvm": "NVM staging",
     "latency": "latency percentiles",
+    "timeline": "timeline (flight recorder)",
 }
 
 
@@ -110,6 +111,9 @@ def build_report(
         report["latency"] = {
             hist_name: hist.percentiles() for hist_name, hist in latency.items()
         }
+    timeline = getattr(obs, "timeline", None)
+    if timeline is not None:
+        report["timeline"] = timeline.summary()
     if "io" in obs.registry.names():
         report["io"] = scrape(obs.registry.source("io"))
     if "flash" in obs.registry.names():
@@ -251,6 +255,59 @@ def render_report(report: dict) -> str:
         lines.append(render_table(["metric", "value"], rows,
                                   title="NVM staging"))
 
+    timeline = report.get("timeline")
+    if timeline:
+        span = timeline.get("span", [0.0, 0.0])
+        rows = [
+            ["samples", str(timeline.get("samples", 0))],
+            ["columns", str(timeline.get("columns", 0))],
+            ["cadence", f"{timeline.get('cadence', 0.0):g}s "
+                        f"(stride {timeline.get('stride', 1)})"],
+            ["span", f"{span[0]:.3f}s - {span[1]:.3f}s"],
+            ["digest", str(timeline.get("digest", "-"))],
+        ]
+        peaks = timeline.get("peaks", {})
+        if "peak_write_cost" in peaks:
+            rows.append(["peak write cost", f"{peaks['peak_write_cost']:.4f}"])
+        if "peak_cleaner_share" in peaks:
+            rows.append(["peak cleaner share", f"{peaks['peak_cleaner_share']:.4f}"])
+        lines.append(render_table(["metric", "value"], rows,
+                                  title="timeline (flight recorder)"))
+        slo = timeline.get("slo", {})
+        if slo:
+            rows = []
+            for name, s in sorted(slo.items()):
+                worst = s.get("worst_burn", {})
+                rows.append(
+                    [
+                        name,
+                        f"{s.get('threshold', 0.0):g}s",
+                        str(s.get("requests", 0)),
+                        str(s.get("breaches", 0)),
+                        ", ".join(f"{w}={b:.2f}" for w, b in sorted(worst.items()))
+                        or "-",
+                        f"{s.get('time_above_slo', 0.0):.3f}s",
+                    ]
+                )
+            lines.append(render_table(
+                ["objective", "threshold", "requests", "breaches",
+                 "worst burn", "above SLO"],
+                rows, title="SLO burn rates"))
+        annotations = timeline.get("annotations", [])
+        if annotations:
+            rows = [
+                [
+                    a.get("type", "?"),
+                    f"{a.get('start', 0.0):.3f}",
+                    f"{a.get('end', 0.0):.3f}",
+                    f"{a.get('severity', 0.0):.3f}",
+                ]
+                for a in annotations
+            ]
+            lines.append(render_table(
+                ["phase", "start", "end", "severity"], rows,
+                title="detected phases"))
+
     for section, title in SECTION_TITLES.items():
         # Requested sections build_report nulled out: say so explicitly
         # rather than silently omitting the table the user asked for.
@@ -353,6 +410,13 @@ def _direction(metric: str) -> int | None:
     # Flash cleaning-migration ratios (blocks moved per block written):
     # deterministic in simulated time, lower is better.
     if metric.startswith("migration_ratio"):
+        return -1
+    # Timeline curve-level metrics (``peak_write_cost[label]``,
+    # ``worst_burn_1m[label]``, ``time_above_slo[label]``): extrema and
+    # integrals over the flight recorder's sampled curves. All derive
+    # from simulated time, so they gate as deterministically as the
+    # point metrics above, and lower is always better.
+    if metric.startswith(("peak_write_cost", "worst_burn", "time_above_slo")):
         return -1
     return METRIC_DIRECTIONS.get(metric)
 

@@ -81,6 +81,21 @@ class ServerConfig:
     #: fsyncs are absorbed as staging-log appends instead of forcing a
     #: partial-segment flush per commit
     nvram: bool = False
+    #: attach the flight recorder: sample every metrics source plus the
+    #: derived gauges at ``timeline_cadence`` simulated seconds, track
+    #: per-tenant SLO burn rates, and detect anomaly phases. Purely
+    #: observational — the event-order and latency digests are identical
+    #: with it on or off.
+    timeline: bool = False
+    timeline_cadence: float = 0.25
+    timeline_max_samples: int = 512
+    #: SLO objective applied per tenant (plus a global ``server``
+    #: objective) when the timeline is on: ``slo_target`` of each
+    #: tenant's requests must complete within ``slo_latency`` simulated
+    #: seconds. ``slo_latency=0`` disables SLO tracking.
+    slo_latency: float = 0.0
+    slo_target: float = 0.99
+    slo_windows: tuple[float, ...] = (5.0, 60.0)
 
     def geometry(self) -> DiskGeometry:
         w = self.workload
@@ -139,6 +154,9 @@ class ServerResult:
     tenant_attribution: dict
     tenant_cleaning_seconds: dict
     watchdog_violations: int = 0
+    #: flight-recorder summary (samples, digest, annotations, SLO burn
+    #: rates, curve peaks) — None unless ``config.timeline`` was set
+    timeline: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -160,6 +178,7 @@ class ServerResult:
             "tenant_attribution": self.tenant_attribution,
             "tenant_cleaning_seconds": self.tenant_cleaning_seconds,
             "watchdog_violations": self.watchdog_violations,
+            "timeline": self.timeline,
         }
 
 
@@ -369,6 +388,36 @@ def run_server(
         fs.mkdir(f"/{tid}")
     obs.registry.register("tenants", registry.counters)
 
+    recorder = None
+    if config.timeline:
+        from repro.obs.timeline import SLOObjective, TimelineRecorder
+
+        slos = []
+        if config.slo_latency > 0:
+            slos = [
+                SLOObjective(
+                    name=tid,
+                    threshold=config.slo_latency,
+                    target=config.slo_target,
+                    windows=config.slo_windows,
+                )
+                for tid in generator.tenant_ids()
+            ]
+            slos.append(SLOObjective(
+                name="server",
+                threshold=config.slo_latency,
+                target=config.slo_target,
+                windows=config.slo_windows,
+            ))
+        recorder = TimelineRecorder(
+            cadence=config.timeline_cadence,
+            max_samples=config.timeline_max_samples,
+            slos=slos,
+        ).install(obs)
+        # The loop drives the cadence gate after every fired event; the
+        # sampler is not an event, so digests are unaffected.
+        loop.sampler = recorder.maybe_sample
+
     weights = {t.tid: t.weight for t in registry.tenants()}
     queue = make_policy(config.policy, quantum=config.quantum, weights=weights)
     server = FileServer(
@@ -434,6 +483,8 @@ def run_server(
         )
     with obs.tenant(SYSTEM_TENANT):
         fs.sync()
+    if recorder is not None:
+        recorder.finish(disk.clock.now)
 
     latency_summary = {"server": server.latency.percentiles()}
     for tenant in registry.tenants():
@@ -460,4 +511,5 @@ def run_server(
         },
         tenant_cleaning_seconds=obs.attribution.tenant_cleaning_seconds(),
         watchdog_violations=0,
+        timeline=recorder.summary() if recorder is not None else None,
     )

@@ -76,6 +76,11 @@ class EventLoop:
         #: running hash over (seq, kind, fire time) of every fired event
         self._digest = hashlib.sha256()
         self._running = False
+        #: optional sampling hook ``sampler(now)`` called after every
+        #: fired event (the timeline recorder's cadence gate). Purely
+        #: observational: it is not an event, so it never touches the
+        #: heap, the clock, or the digest.
+        self.sampler: Callable[[float], None] | None = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -145,6 +150,8 @@ class EventLoop:
                     f"{event.seq}:{event.kind}:{self.clock.now!r}".encode()
                 )
                 event.callback(self)
+                if self.sampler is not None:
+                    self.sampler(self.clock.now)
         finally:
             self._running = False
         return fired

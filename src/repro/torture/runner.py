@@ -80,6 +80,10 @@ class PointResult:
     nvm_records_replayed: int = 0
     nvm_records_dropped: int = 0
     nvm_read_only: bool = False
+    #: flight-recorder samples taken during replay+recovery when the
+    #: point ran with ``timeline=True``. Diagnostics only — like the
+    #: error fields, deliberately not part of the digest.
+    timeline_samples: int = 0
 
     def digest_line(self) -> str:
         """A stable one-line fingerprint (feeds the run digest)."""
@@ -99,20 +103,26 @@ class PointResult:
         return line
 
 
-def _observe(watchdog: bool) -> Observation | None:
+def _observe(watchdog: bool, timeline: bool = False) -> Observation | None:
     """Build the opt-in per-point observatory (None when off).
 
-    The ledger and watchdog are pure bookkeeping — they never touch the
-    simulated clock — so a watchdog-on run must produce the exact same
-    outcome digest as a watchdog-off run; an invariant violation surfaces
-    as a raised :class:`~repro.obs.InvariantViolation` instead.
+    The ledger, watchdog, and timeline recorder are pure bookkeeping —
+    they never touch the simulated clock — so a watchdog- or
+    timeline-enabled run must produce the exact same outcome digest as a
+    bare run; an invariant violation surfaces as a raised
+    :class:`~repro.obs.InvariantViolation` instead.
     """
-    if not watchdog:
+    if not (watchdog or timeline):
         return None
     obs = Observation(ring_capacity=4096)
-    ledger = SegmentLedger()
-    ledger.install(obs)
-    Watchdog(ledger=ledger).install(obs)
+    if watchdog:
+        ledger = SegmentLedger()
+        ledger.install(obs)
+        Watchdog(ledger=ledger).install(obs)
+    if timeline:
+        from repro.obs.timeline import TimelineRecorder
+
+        TimelineRecorder(cadence=0.01).install(obs)
     return obs
 
 
@@ -189,13 +199,17 @@ def explore_point(
     point_seed: int,
     *,
     watchdog: bool = False,
+    timeline: bool = False,
 ) -> PointResult:
     """Replay to one crash point, recover, and verify.
 
     ``cut == recording.total_blocks`` replays the whole stream with no
     crash (the injector never fires), which checks the oracle against an
     orderly-but-unflushed device. ``watchdog`` attaches the segment
-    ledger + invariant watchdog to the point's replay and recovery.
+    ledger + invariant watchdog to the point's replay and recovery;
+    ``timeline`` attaches a flight recorder sampling the replay and
+    recovery I/O (purely observational — the outcome digest is
+    unchanged).
 
     For a two-domain recording ``cut`` counts global units (disk blocks
     plus NVM appends, merged in issue order): the disk injector arms at
@@ -208,7 +222,7 @@ def explore_point(
     if variant in NVM_MODES:
         return _explore_nvm_point(recording, cut, variant, point_seed, watchdog=watchdog)
     disk = recording.fresh_disk()
-    obs = _observe(watchdog)
+    obs = _observe(watchdog, timeline)
     if obs is not None:
         obs.attach_disk(disk)
     nv = None
@@ -235,6 +249,8 @@ def explore_point(
                     disk.write_block(addr, payloads[0])
                 else:
                     disk.write_blocks(addr, list(payloads))
+                if obs is not None:
+                    obs.timeline_tick()
     except DiskCrashed as exc:
         crash_exc = exc
     disk.power_on()
@@ -283,6 +299,9 @@ def explore_point(
         check = check_filesystem(disk)
         if not check.ok:
             result.violations.extend(f"lfsck: {msg}" for msg in check.errors)
+    if obs is not None and obs.timeline is not None:
+        obs.timeline.finish()
+        result.timeline_samples = obs.timeline.samples_taken
     result.ok = not result.violations
     return result
 

@@ -207,6 +207,78 @@ class TestMetricsRegistry:
         disk.reset_stats()
         assert obs.registry.snapshot()["io"]["reads"] == 0
 
+    def test_callable_source_re_resolves_each_snapshot(self, disk):
+        # reset_stats swaps the stats object out from under the
+        # registration; the callable must chase the new object, and the
+        # registry delta across the swap goes negative, not undefined.
+        obs = Observation().attach_disk(disk)
+        disk.read_block(0)
+        disk.read_block(64)
+        first = obs.registry.snapshot()
+        disk.reset_stats()
+        second = obs.registry.snapshot()
+        delta = MetricsRegistry.delta(second, first)
+        assert first["io"]["reads"] == 2
+        assert second["io"]["reads"] == 0
+        assert delta["io"]["reads"] == -2
+
+    def test_scrape_mixed_dict_keeps_numeric_entries(self):
+        class Bag:
+            def __init__(self):
+                self.by_kind = {"DATA": 7, "note": "hi", "ok": True, "ratio": 0.5}
+
+        scraped = scrape(Bag())
+        # Numeric entries survive individually; the string and the bool
+        # are skipped and counted, not the whole dict dropped.
+        assert scraped["by_kind"] == {"DATA": 7, "ratio": 0.5}
+        assert scraped["by_kind_skipped"] == 2
+
+    def test_scrape_all_numeric_dict_has_no_skip_counter(self):
+        class Bag:
+            def __init__(self):
+                self.by_kind = {"DATA": 7, "META": 1}
+
+        scraped = scrape(Bag())
+        assert scraped["by_kind"] == {"DATA": 7, "META": 1}
+        assert "by_kind_skipped" not in scraped
+
+    def test_scrape_bool_dict_values_are_skipped(self):
+        class Bag:
+            def __init__(self):
+                self.flags = {"a": True, "b": False, "n": 2}
+
+        scraped = scrape(Bag())
+        assert scraped["flags"] == {"n": 2}
+        assert scraped["flags_skipped"] == 2
+
+    def test_delta_field_only_in_earlier_goes_negative(self):
+        earlier = {"src": {"gauge": 5, "by_kind": {"A": 3, "B": 1}}}
+        later = {"src": {"by_kind": {"A": 4}}}
+        delta = MetricsRegistry.delta(later, earlier)
+        assert delta["src"]["gauge"] == -5
+        assert delta["src"]["by_kind"] == {"A": 1, "B": -1}
+
+    def test_delta_source_only_in_earlier_goes_negative(self):
+        earlier = {"gone": {"reads": 2, "by_kind": {"X": 4}}}
+        delta = MetricsRegistry.delta({}, earlier)
+        assert delta["gone"]["reads"] == -2
+        assert delta["gone"]["by_kind"] == {"X": -4}
+
+    def test_delta_sums_across_phases(self):
+        # The reason disappearing fields go negative: deltas over
+        # consecutive phases must telescope to the end-to-end delta.
+        s0 = {"src": {"n": 0, "tmp": 0}}
+        s1 = {"src": {"n": 3, "tmp": 7}}
+        s2 = {"src": {"n": 5}}  # tmp deregistered mid-run
+        d01 = MetricsRegistry.delta(s1, s0)
+        d12 = MetricsRegistry.delta(s2, s1)
+        d02 = MetricsRegistry.delta(s2, s0)
+        total = {
+            f: d01["src"].get(f, 0) + d12["src"].get(f, 0)
+            for f in set(d01["src"]) | set(d12["src"])
+        }
+        assert total == d02["src"]
+
     def test_render_smoke(self, disk):
         obs = Observation().attach_disk(disk)
         disk.read_block(0)
